@@ -1,0 +1,242 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section (one benchmark per artifact, see DESIGN.md §3), the
+// repository ablations, and micro-benchmarks of the core algorithms.
+//
+// Each artifact benchmark prints its table once, so
+//
+//	go test -bench=. -benchmem | tee bench_output.txt
+//
+// captures both the regeneration cost and the reproduced numbers.
+package multisite_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/core"
+	"multisite/internal/exact"
+	"multisite/internal/experiments"
+	"multisite/internal/multisite"
+	"multisite/internal/report"
+	"multisite/internal/sim"
+	"multisite/internal/tam"
+	"multisite/internal/tap"
+	"multisite/internal/wafersim"
+	"multisite/internal/wrapper"
+)
+
+var printed sync.Map
+
+func printOnce(name, text string) {
+	if _, loaded := printed.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n===== %s =====\n%s\n", name, text)
+	}
+}
+
+func benchFigure(b *testing.B, name string, f func() *report.Figure) {
+	b.Helper()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		fig = f()
+	}
+	printOnce(name, experiments.Render(fig))
+}
+
+func benchTable(b *testing.B, name string, f func() *report.Table) {
+	b.Helper()
+	var t *report.Table
+	for i := 0; i < b.N; i++ {
+		t = f()
+	}
+	printOnce(name, t.String())
+}
+
+// BenchmarkFig5 regenerates Figure 5: throughput vs multi-site for the
+// PNX8550-class SOC, with/without stimuli broadcast, Step 1 vs Step 1+2.
+func BenchmarkFig5(b *testing.B) { benchFigure(b, "fig5", experiments.Fig5) }
+
+// BenchmarkFig6a regenerates Figure 6(a): throughput vs ATE channels.
+func BenchmarkFig6a(b *testing.B) { benchFigure(b, "fig6a", experiments.Fig6a) }
+
+// BenchmarkFig6b regenerates Figure 6(b): throughput vs memory depth.
+func BenchmarkFig6b(b *testing.B) { benchFigure(b, "fig6b", experiments.Fig6b) }
+
+// BenchmarkCostTrade regenerates the Section 7 memory-vs-channels money
+// comparison.
+func BenchmarkCostTrade(b *testing.B) { benchTable(b, "cost", experiments.CostTrade) }
+
+// BenchmarkFig7a regenerates Figure 7(a): unique throughput vs depth under
+// re-testing, per contact yield.
+func BenchmarkFig7a(b *testing.B) { benchFigure(b, "fig7a", experiments.Fig7a) }
+
+// BenchmarkFig7b regenerates Figure 7(b): abort-on-fail effective test
+// time vs sites, per manufacturing yield.
+func BenchmarkFig7b(b *testing.B) { benchFigure(b, "fig7b", experiments.Fig7b) }
+
+// BenchmarkTable1 regenerates Table 1: lower bound, rectangle bin-packing
+// baseline, and our Step 1, for 4 SOCs × 11 depths.
+func BenchmarkTable1(b *testing.B) { benchTable(b, "table1", experiments.Table1) }
+
+// BenchmarkAblationOptionRule compares Step 1's option-selection rules.
+func BenchmarkAblationOptionRule(b *testing.B) {
+	benchTable(b, "abl1-option-rule", experiments.AblationOptionRule)
+}
+
+// BenchmarkAblationWrapper compares COMBINE against plain LPT wrapper fit.
+func BenchmarkAblationWrapper(b *testing.B) {
+	benchTable(b, "abl2-wrapper", experiments.AblationWrapper)
+}
+
+// BenchmarkWaferPeriphery quantifies the periphery losses the paper
+// ignores.
+func BenchmarkWaferPeriphery(b *testing.B) {
+	benchTable(b, "abl3-wafer-periphery", experiments.WaferPeriphery)
+}
+
+// ---- micro-benchmarks of the core algorithms ----
+
+// BenchmarkWrapperFit measures one COMBINE wrapper design of the largest
+// d695 core at width 16.
+func BenchmarkWrapperFit(b *testing.B) {
+	s := benchdata.Shared("d695")
+	m := s.Module(5) // s38584
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wrapper.Fit(m, 16)
+	}
+}
+
+// BenchmarkStep1D695 measures the full Step 1 design of d695 at 64K.
+func BenchmarkStep1D695(b *testing.B) {
+	s := benchdata.Shared("d695")
+	target := ate.ATE{Channels: 256, Depth: 64 * benchdata.Ki, ClockHz: 5e6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tam.DesignStep1(s, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizePNX8550 measures the full two-step optimization of the
+// 275-module PNX8550-class SOC.
+func BenchmarkOptimizePNX8550(b *testing.B) {
+	s := benchdata.Shared("pnx8550")
+	cfg := experiments.PNXConfig(512, 7*benchdata.Mi, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimEventD695 measures the event-level simulation of a full
+// d695 test.
+func BenchmarkSimEventD695(b *testing.B) {
+	s := benchdata.Shared("d695")
+	arch, err := tam.DesignStep1(s, ate.ATE{Channels: 256, Depth: 64 * benchdata.Ki, ClockHz: 5e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(arch, sim.Event); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimBitD695 measures the bit-accurate simulation of a full d695
+// test (every scan shift executed).
+func BenchmarkSimBitD695(b *testing.B) {
+	s := benchdata.Shared("d695")
+	arch, err := tam.DesignStep1(s, ate.ATE{Channels: 256, Depth: 64 * benchdata.Ki, ClockHz: 5e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(arch, sim.BitAccurate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarlo measures 1000 simulated touchdowns of an 8-site
+// test with re-testing.
+func BenchmarkMonteCarlo(b *testing.B) {
+	p := multisite.Params{
+		Sites: 8, Pins: 74, IndexTime: 0.65, ContactTime: 0.1,
+		TestTime: 1.468, ContactYield: 0.999, Yield: 0.9,
+		AbortOnFail: true, Retest: true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wafersim.Run(wafersim.Config{Params: p, Touchdowns: 1000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- extension benchmarks ----
+
+// BenchmarkExtExactGap validates Step 1 against the exact optimum.
+func BenchmarkExtExactGap(b *testing.B) {
+	benchTable(b, "ext-exact", experiments.ExtExactGap)
+}
+
+// BenchmarkExtControlOverhead quantifies IEEE 1500 / TAP control cycles.
+func BenchmarkExtControlOverhead(b *testing.B) {
+	benchTable(b, "ext-ctl", experiments.ExtControlOverhead)
+}
+
+// BenchmarkExtSchedulingGain measures the abort-on-fail ordering gain.
+func BenchmarkExtSchedulingGain(b *testing.B) {
+	benchTable(b, "ext-sched", experiments.ExtSchedulingGain)
+}
+
+// BenchmarkExtCostPerDevice closes the cost-per-device economic loop.
+func BenchmarkExtCostPerDevice(b *testing.B) {
+	benchTable(b, "ext-cost", experiments.ExtCostPerDevice)
+}
+
+// BenchmarkExtTestFlow models the two-stage wafer + final test flow.
+func BenchmarkExtTestFlow(b *testing.B) {
+	benchTable(b, "ext-flow", experiments.ExtTestFlow)
+}
+
+// BenchmarkExtFamilySweep sweeps the extended benchmark family.
+func BenchmarkExtFamilySweep(b *testing.B) {
+	benchTable(b, "ext-family", experiments.ExtFamilySweep)
+}
+
+// BenchmarkExtTDC quantifies the TDC x multi-site composition.
+func BenchmarkExtTDC(b *testing.B) {
+	benchTable(b, "ext-tdc", experiments.ExtTDC)
+}
+
+// BenchmarkExactD695 measures the branch-and-bound solve itself.
+func BenchmarkExactD695(b *testing.B) {
+	s := benchdata.Shared("d695")
+	target := ate.ATE{Channels: 256, Depth: 64 * benchdata.Ki, ClockHz: 5e6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.Solve(s, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTAPInstructionLoad measures one TAP instruction load.
+func BenchmarkTAPInstructionLoad(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := tap.New(8)
+		c.Reset()
+		c.LoadInstruction(0x5A)
+	}
+}

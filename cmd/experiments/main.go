@@ -1,0 +1,126 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section, plus the repository's ablations. With no arguments
+// it runs everything; otherwise it runs the named experiments.
+//
+// Usage:
+//
+//	experiments                 # all of them
+//	experiments fig5 table1     # a subset
+//	experiments -list
+//	experiments -csv fig6a      # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"multisite/internal/experiments"
+	"multisite/internal/report"
+)
+
+type experiment struct {
+	desc string
+	run  func() *report.Table
+}
+
+func table(f func() *report.Figure) func() *report.Table {
+	return func() *report.Table {
+		fig := f()
+		t := fig.Table()
+		t.Notes = append(t.Notes, notesOf(fig)...)
+		return t
+	}
+}
+
+// notesOf extracts the experiment notes through the package's renderer.
+func notesOf(fig *report.Figure) []string {
+	rendered := experiments.Render(fig)
+	var notes []string
+	for _, line := range strings.Split(rendered, "\n") {
+		if strings.HasPrefix(line, "note: ") {
+			notes = append(notes, strings.TrimPrefix(line, "note: "))
+		}
+	}
+	return notes
+}
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list available experiments")
+		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot = flag.Bool("plot", false, "render figures as ASCII charts as well")
+	)
+	flag.Parse()
+
+	figures := map[string]func() *report.Figure{
+		"fig5": experiments.Fig5, "fig6a": experiments.Fig6a, "fig6b": experiments.Fig6b,
+		"fig7a": experiments.Fig7a, "fig7b": experiments.Fig7b,
+	}
+	catalog := map[string]experiment{
+		"fig5":       {"Fig. 5: throughput vs sites (PNX8550, broadcast on/off, Step1 vs Step1+2)", table(experiments.Fig5)},
+		"fig6a":      {"Fig. 6(a): throughput vs ATE channels", table(experiments.Fig6a)},
+		"fig6b":      {"Fig. 6(b): throughput vs vector memory depth", table(experiments.Fig6b)},
+		"cost":       {"Section 7: memory-vs-channels cost trade-off", experiments.CostTrade},
+		"fig7a":      {"Fig. 7(a): unique throughput vs depth under re-test", table(experiments.Fig7a)},
+		"fig7b":      {"Fig. 7(b): abort-on-fail test time vs sites", table(experiments.Fig7b)},
+		"table1":     {"Table 1: LB / baseline [7] / ours, 4 SOCs x 11 depths", experiments.Table1},
+		"abl1":       {"Ablation: Step 1 option rule", experiments.AblationOptionRule},
+		"abl2":       {"Ablation: COMBINE vs plain LPT wrapper fit", experiments.AblationWrapper},
+		"abl3":       {"Extension: wafer periphery losses", experiments.WaferPeriphery},
+		"ext-exact":  {"Extension: Step 1 vs exact branch-and-bound optimum", experiments.ExtExactGap},
+		"ext-ctl":    {"Extension: IEEE 1500 / TAP control overhead", experiments.ExtControlOverhead},
+		"ext-sched":  {"Extension: abort-on-fail module-ordering gain", experiments.ExtSchedulingGain},
+		"ext-cost":   {"Extension: test cost per device vs multi-site", experiments.ExtCostPerDevice},
+		"ext-flow":   {"Extension: wafer sort vs final test flow", experiments.ExtTestFlow},
+		"ext-family": {"Extension: channel staircase across the extended ITC'02 family", experiments.ExtFamilySweep},
+		"ext-tdc":    {"Extension: test data compression x multi-site", experiments.ExtTDC},
+	}
+	order := []string{"fig5", "fig6a", "fig6b", "cost", "fig7a", "fig7b", "table1",
+		"abl1", "abl2", "abl3", "ext-exact", "ext-ctl", "ext-sched", "ext-cost", "ext-flow", "ext-family", "ext-tdc"}
+
+	if *list {
+		names := make([]string, 0, len(catalog))
+		for n := range catalog {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-8s %s\n", n, catalog[n].desc)
+		}
+		return
+	}
+
+	selected := flag.Args()
+	if len(selected) == 0 {
+		selected = order
+	}
+	for i, name := range selected {
+		exp, ok := catalog[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		t := exp.run()
+		if *csv {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		} else if err := t.Write(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *plot {
+			if f, ok := figures[name]; ok {
+				fmt.Println()
+				fmt.Print(f().Plot(report.PlotOptions{}))
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command multisite designs the on-chip test infrastructure of an SOC for
+// optimal multi-site testing on a given ATE, implementing the paper's
+// two-step algorithm end to end: it prints the Step 1 channel-group
+// architecture, the E-RPCT wrapper parameters, the throughput curve over
+// site counts, and the optimal operating point.
+//
+// Usage:
+//
+//	multisite -soc d695 -channels 256 -depth 64K
+//	multisite -file chip.soc -channels 512 -depth 7M -broadcast \
+//	    -contact-yield 0.999 -yield 0.9 -abort -retest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/cli"
+	"multisite/internal/core"
+	"multisite/internal/report"
+	"multisite/internal/rpct"
+)
+
+func main() {
+	var (
+		socName   = flag.String("soc", "", "built-in benchmark name: "+strings.Join(benchdata.Names(), ", "))
+		file      = flag.String("file", "", "path to an ITC'02-style .soc file")
+		channels  = flag.Int("channels", 512, "ATE channel count N")
+		depthStr  = flag.String("depth", "7M", "vector memory depth per channel (e.g. 64K, 7M, 100000)")
+		clock     = flag.Float64("clock", 5e6, "test clock frequency in Hz")
+		broadcast = flag.Bool("broadcast", false, "ATE supports stimuli broadcast")
+		indexTime = flag.Float64("index", 0.65, "prober index time ti in seconds")
+		contact   = flag.Float64("contact", 0.1, "contact test time tc in seconds")
+		pc        = flag.Float64("contact-yield", 1, "per-terminal contact yield pc")
+		pm        = flag.Float64("yield", 1, "per-SOC manufacturing yield pm")
+		abort     = flag.Bool("abort", false, "model abort-on-fail")
+		retest    = flag.Bool("retest", false, "model re-testing of contact failures")
+		netlist   = flag.Bool("netlist", false, "emit the E-RPCT wrapper netlist")
+		showArch  = flag.Bool("arch", false, "print the channel-group architecture in full")
+		saveArch  = flag.String("save", "", "save the optimal architecture to this file")
+	)
+	flag.Parse()
+
+	s, err := cli.LoadSOC(*socName, *file)
+	if err != nil {
+		fatal(err)
+	}
+	depth, err := cli.ParseSize(*depthStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{
+		ATE:          ate.ATE{Channels: *channels, Depth: depth, ClockHz: *clock, Broadcast: *broadcast},
+		Probe:        ate.ProbeStation{IndexTime: *indexTime, ContactTime: *contact},
+		ContactYield: *pc,
+		Yield:        *pm,
+		AbortOnFail:  *abort,
+		Retest:       *retest,
+	}
+	res, err := core.Optimize(s, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("SOC %s on ATE with N=%d channels, D=%d vectors, %.0f MHz (broadcast=%v)\n",
+		s.Name, *channels, depth, *clock/1e6, *broadcast)
+	fmt.Printf("Step 1: k=%d channels over %d channel groups, test length %d cycles (%.3f s)\n",
+		res.Step1.Channels(), len(res.Step1.Groups), res.Step1.TestCycles(),
+		cfg.ATE.SecondsFor(res.Step1.TestCycles()))
+	fmt.Printf("Maximum multi-site nmax=%d\n\n", res.MaxSites)
+
+	tbl := &report.Table{
+		Title:  "Step 2: throughput per site count",
+		Header: []string{"n", "k/site", "test (s)", "Dth (dev/h)", "Du (dev/h)", "Step1-only Dth"},
+	}
+	for n := 1; n <= res.MaxSites; n++ {
+		e := res.Curve[n-1]
+		mark := ""
+		if n == res.Best.Sites {
+			mark = " *"
+		}
+		tbl.AddRow(fmt.Sprintf("%d%s", n, mark), e.Channels, e.TestTimeSec,
+			e.Throughput, e.UniqueThroughput, res.Step1Curve[n-1].Throughput)
+	}
+	tbl.Notes = append(tbl.Notes, "* optimal multi-site")
+	tbl.Write(os.Stdout)
+
+	fmt.Printf("\nOptimal: n=%d sites, k=%d channels/site, Dth=%.0f devices/hour\n",
+		res.Best.Sites, res.Best.Channels, res.Best.Throughput)
+
+	w, err := rpct.Design(res.BestArch, res.Best.Channels, 0)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("E-RPCT wrapper: %d-in/%d-out, convert ratio %d, %d boundary cells, %d contacted pads\n",
+		w.ExternalIn, w.ExternalOut, w.ConvertRatio, w.BoundaryCells, w.ContactedPins())
+	flops, gates := w.Overhead()
+	fmt.Printf("DfT overhead estimate: %d flops, %d gate equivalents\n", flops, gates)
+
+	if *showArch {
+		fmt.Println()
+		fmt.Print(res.BestArch.String())
+	}
+	if *saveArch != "" {
+		f, err := os.Create(*saveArch)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.BestArch.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("architecture saved to %s\n", *saveArch)
+	}
+	if *netlist {
+		fmt.Println()
+		if err := w.WriteNetlist(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "multisite:", err)
+	os.Exit(1)
+}

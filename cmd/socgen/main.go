@@ -1,0 +1,91 @@
+// Command socgen emits the repository's benchmark SOCs — the
+// literature-derived d695 and the calibrated synthetic Philips chips — as
+// ITC'02-style .soc files, so they can be inspected, diffed, or fed back
+// through cmd/multisite -file. It can also generate fresh synthetic chips
+// from explicit parameters.
+//
+// Usage:
+//
+//	socgen -all -dir ./socs
+//	socgen -soc pnx8550
+//	socgen -name mychip -seed 7 -logic 20 -mem 8 -area 12M
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"multisite/internal/benchdata"
+	"multisite/internal/cli"
+	"multisite/internal/pareto"
+	"multisite/internal/soc"
+)
+
+func main() {
+	var (
+		all   = flag.Bool("all", false, "emit every built-in benchmark")
+		name  = flag.String("soc", "", "emit one built-in benchmark to stdout")
+		dir   = flag.String("dir", ".", "output directory for -all")
+		gen   = flag.String("name", "", "generate a fresh synthetic SOC with this name")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		logic = flag.Int("logic", 16, "logic core count")
+		mem   = flag.Int("mem", 4, "memory core count")
+		area  = flag.String("area", "8M", "target minimum test area in wire-cycles (K/M suffixes)")
+	)
+	flag.Parse()
+
+	switch {
+	case *all:
+		for _, n := range benchdata.Names() {
+			s := benchdata.Shared(n)
+			path := filepath.Join(*dir, n+".soc")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := soc.Write(f, s); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: %d modules, %d test bits, min area %d wire-cycles\n",
+				path, len(s.Modules), s.TotalTestBits(), pareto.TotalMinArea(s))
+		}
+	case *name != "":
+		s := benchdata.Shared(*name)
+		if s == nil {
+			fatal(fmt.Errorf("unknown benchmark %q; available: %s",
+				*name, strings.Join(benchdata.Names(), ", ")))
+		}
+		if err := soc.Write(os.Stdout, s); err != nil {
+			fatal(err)
+		}
+	case *gen != "":
+		target, err := cli.ParseSize(*area)
+		if err != nil {
+			fatal(err)
+		}
+		s := benchdata.Generate(benchdata.GenSpec{
+			Name: *gen, Seed: *seed,
+			LogicCores: *logic, MemoryCores: *mem,
+			TargetArea: target,
+		})
+		if err := soc.Write(os.Stdout, s); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "generated %s: %d modules, min area %d (target %d)\n",
+			*gen, len(s.Modules), pareto.TotalMinArea(s), target)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "socgen:", err)
+	os.Exit(1)
+}

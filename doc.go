@@ -1,0 +1,11 @@
+// Package multisite is a reproduction of Goel & Marinissen, "On-Chip Test
+// Infrastructure Design for Optimal Multi-Site Testing of System Chips"
+// (DATE 2005): a library, toolset, and experiment harness for designing
+// the on-chip DfT — E-RPCT wrapper, TAMs, and core test wrappers — that
+// maximizes multi-site wafer-test throughput on a fixed ATE.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the executables, examples/ runnable walkthroughs,
+// and bench_test.go in this directory regenerates every table and figure
+// of the paper's evaluation.
+package multisite

@@ -1,0 +1,87 @@
+// Modular SOC walkthrough: load an ITC'02-style description, design the
+// channel-group architecture and the E-RPCT wrapper, then cross-check the
+// analytic test length against the cycle-accurate simulator — including a
+// fault-injection run showing when abort-on-fail would trigger.
+//
+//	go run ./examples/modular_soc
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"multisite/internal/ate"
+	"multisite/internal/rpct"
+	"multisite/internal/sim"
+	"multisite/internal/soc"
+	"multisite/internal/tam"
+)
+
+// The chip under test, in the textual format of internal/soc. In a real
+// flow this would live in a .soc file next to the design database.
+const chipDescription = `
+SocName demo-soc
+TotalModules 5
+Module 0 Name top Level 0 Inputs 96 Outputs 64 Bidirs 16 TotalPatterns 0 ScanChains 0
+Module 1 Name cpu Level 1 Inputs 70 Outputs 52 Bidirs 0 TotalPatterns 220 ScanChains 8 : 120 118 115 112 110 108 105 102
+Module 2 Name gpu Level 1 Inputs 58 Outputs 66 Bidirs 0 TotalPatterns 340 ScanChains 12 : 90 90 88 88 86 86 84 84 82 82 80 80
+Module 3 Name dma Level 1 Inputs 33 Outputs 25 Bidirs 0 TotalPatterns 95 ScanChains 2 : 76 74
+Module 4 Name sram Level 1 Inputs 40 Outputs 26 Bidirs 0 TotalPatterns 1500 Memory true ScanChains 0
+`
+
+func main() {
+	chip, err := soc.ParseString(chipDescription)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	target := ate.ATE{Channels: 64, Depth: 200_000, ClockHz: 10e6}
+	arch, err := tam.DesignStep1(chip, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(arch.String())
+
+	// The E-RPCT wrapper turns the architecture's TAM wires into a
+	// narrow probed interface; all other pins ride the boundary scan.
+	w, err := rpct.Design(arch, arch.Channels(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nE-RPCT: %d-in/%d-out, ratio %d, %d boundary cells, %d probed pads\n",
+		w.ExternalIn, w.ExternalOut, w.ConvertRatio, w.BoundaryCells, w.ContactedPins())
+
+	// Cross-check the analytic cycle count with the bit-accurate
+	// simulator: every scan shift, capture, and drain is executed.
+	clean, err := sim.Run(arch, sim.BitAccurate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated %d cycles; analytic model says %d (match=%v)\n",
+		clean.Cycles, arch.TestCycles(), clean.Cycles == arch.TestCycles())
+
+	// Inject a stuck bit in the CPU from pattern 10 onward and observe
+	// when the tester would see the first failing response.
+	var cpu int
+	for i := range chip.Modules {
+		if chip.Modules[i].Name == "cpu" {
+			cpu = i
+		}
+	}
+	faulty, err := sim.Run(arch, sim.BitAccurate,
+		sim.Fault{Module: cpu, Chain: 0, Bit: 3, FirstPattern: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected fault first observed at cycle %d of %d (%.1f%% into the test)\n",
+		faulty.FirstFailCycle, faulty.Cycles,
+		100*float64(faulty.FirstFailCycle)/float64(faulty.Cycles))
+	fmt.Println("with abort-on-fail and a single site, the remaining cycles would be skipped")
+
+	// Emit the wrapper netlist skeleton for the DfT hand-off.
+	fmt.Println()
+	if err := w.WriteNetlist(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

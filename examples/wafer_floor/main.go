@@ -1,0 +1,74 @@
+// Wafer test floor: validate the paper's closed-form throughput model
+// (Equations 4.1–4.6) against a Monte-Carlo simulation of touchdowns with
+// random contact and manufacturing failures, then layer in the wafer
+// geometry the paper abstracts away.
+//
+//	go run ./examples/wafer_floor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/core"
+	"multisite/internal/multisite"
+	"multisite/internal/wafer"
+	"multisite/internal/wafersim"
+)
+
+func main() {
+	// Design the PNX8550-class chip for its target test cell.
+	pnx := benchdata.Shared("pnx8550")
+	cfg := core.Config{
+		ATE:   ate.ATE{Channels: 512, Depth: 7 << 20, ClockHz: 5e6},
+		Probe: ate.DefaultProbeStation(),
+	}
+	res, err := core.Optimize(pnx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal operating point: n=%d sites, k=%d channels, tm=%.3f s\n\n",
+		res.Best.Sites, res.Best.Channels, res.Best.TestTimeSec)
+
+	// Monte-Carlo vs analytic, across contact yields.
+	params := multisite.Params{
+		Sites: res.Best.Sites, Pins: res.Best.Channels + core.DefaultControlPins,
+		IndexTime: cfg.Probe.IndexTime, ContactTime: cfg.Probe.ContactTime,
+		TestTime: res.Best.TestTimeSec,
+		Yield:    0.9, AbortOnFail: true, Retest: true,
+	}
+	fmt.Println("contact yield | analytic Du | simulated Du | rel err")
+	for _, pc := range []float64{1, 0.9999, 0.999, 0.998} {
+		p := params
+		p.ContactYield = pc
+		st, err := wafersim.Run(wafersim.Config{
+			Params: p, Touchdowns: 50_000, Seed: 2005,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		analytic := p.UniqueThroughput()
+		relErr := (st.UniqueThroughput - analytic) / analytic
+		fmt.Printf("%13g | %11.0f | %12.0f | %+.3f%%\n",
+			pc, analytic, st.UniqueThroughput, 100*relErr)
+	}
+
+	// The paper ignores wafer-periphery losses; quantify them for this
+	// operating point on a 300 mm wafer with 8x8 mm dies.
+	layout := wafer.Layout{
+		WaferDiameterMM: 300, DieWidthMM: 8, DieHeightMM: 8,
+		SitesX: res.Best.Sites, SitesY: 1,
+	}
+	plan := layout.Step()
+	p := params
+	p.ContactYield = 0.999
+	perTouchdown := p.TouchdownTime()
+	fmt.Printf("\nwafer map: %d dies, %d touchdowns with a %dx1 probe card\n",
+		layout.DieCount(), plan.Touchdowns, res.Best.Sites)
+	fmt.Printf("probe-card utilization %.3f (paper assumes 1.0) -> effective Dth %.0f\n",
+		plan.Utilization(), p.Throughput()*plan.Utilization())
+	fmt.Printf("one wafer takes %.1f minutes at %.2f s per touchdown\n",
+		layout.WaferTestHours(perTouchdown)*60, perTouchdown)
+}

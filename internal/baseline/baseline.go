@@ -1,0 +1,199 @@
+// Package baseline implements the comparison method of the reproduced
+// paper: the rectangle bin-packing test-architecture design of Iyengar,
+// Goel, Chakrabarty, and Marinissen, "Test Resource Optimization for
+// Multi-Site Testing of SOCs Under ATE Memory Depth Constraints"
+// (ITC 2002) — reference [7].
+//
+// Each module's test at TAM width w is a rectangle of width w wires and
+// height T(w) cycles. The method packs one rectangle per module into a bin
+// of width W wires and height D cycles (the ATE vector memory), growing W
+// from the theoretical lower bound until the packing fits; the result is
+// the minimum channel count k = 2W the packer can achieve, which in [7]
+// maximizes the number of multi-sites. Packing uses a skyline best-fit
+// heuristic over the modules in decreasing minimum-area order, trying every
+// Pareto-optimal width for each rectangle.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"multisite/internal/ate"
+	"multisite/internal/pareto"
+	"multisite/internal/soc"
+	"multisite/internal/wrapper"
+)
+
+// Placement records where one module's rectangle landed.
+type Placement struct {
+	// Module is the index into the SOC's Modules slice.
+	Module int
+	// Wire is the first TAM wire (column) of the rectangle.
+	Wire int
+	// Width is the rectangle width in wires.
+	Width int
+	// Start is the first cycle (row) of the rectangle.
+	Start int64
+	// Time is the rectangle height in cycles.
+	Time int64
+}
+
+// Packing is a feasible rectangle packing of all testable modules.
+type Packing struct {
+	// SOC is the chip packed.
+	SOC *soc.SOC
+	// Wires is the bin width W; the channel count is 2W.
+	Wires int
+	// Depth is the bin height D in cycles.
+	Depth int64
+	// Placements lists one rectangle per testable module.
+	Placements []Placement
+}
+
+// Channels returns the ATE channel count k = 2·Wires.
+func (p *Packing) Channels() int { return 2 * p.Wires }
+
+// TestCycles returns the packing's makespan: the highest occupied row.
+func (p *Packing) TestCycles() int64 {
+	var n int64
+	for _, pl := range p.Placements {
+		if end := pl.Start + pl.Time; end > n {
+			n = end
+		}
+	}
+	return n
+}
+
+// Validate checks that placements stay inside the bin, do not overlap, and
+// use genuine wrapper test times.
+func (p *Packing) Validate() error {
+	d := wrapper.For(p.SOC)
+	seen := make(map[int]bool)
+	for i, pl := range p.Placements {
+		if pl.Wire < 0 || pl.Wire+pl.Width > p.Wires {
+			return fmt.Errorf("placement %d: wires [%d,%d) outside bin width %d",
+				i, pl.Wire, pl.Wire+pl.Width, p.Wires)
+		}
+		if pl.Start < 0 || pl.Start+pl.Time > p.Depth {
+			return fmt.Errorf("placement %d: cycles [%d,%d) outside depth %d",
+				i, pl.Start, pl.Start+pl.Time, p.Depth)
+		}
+		if want := d.Time(pl.Module, pl.Width); pl.Time != want {
+			return fmt.Errorf("placement %d: time %d != wrapper time %d at width %d",
+				i, pl.Time, want, pl.Width)
+		}
+		if seen[pl.Module] {
+			return fmt.Errorf("module %d placed twice", pl.Module)
+		}
+		seen[pl.Module] = true
+		for j := 0; j < i; j++ {
+			o := p.Placements[j]
+			if pl.Wire < o.Wire+o.Width && o.Wire < pl.Wire+pl.Width &&
+				pl.Start < o.Start+o.Time && o.Start < pl.Start+pl.Time {
+				return fmt.Errorf("placements %d and %d overlap", j, i)
+			}
+		}
+	}
+	for _, mi := range p.SOC.TestableModules() {
+		if !seen[mi] {
+			return fmt.Errorf("testable module %d not placed", mi)
+		}
+	}
+	return nil
+}
+
+// Design packs the SOC's module tests into the target ATE's vector memory
+// with as few TAM wires as possible, mirroring [7]: start at the
+// theoretical lower bound and grow the bin width until the skyline packer
+// fits everything.
+func Design(s *soc.SOC, target ate.ATE) (*Packing, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	maxWires := target.Channels / 2
+	d := wrapper.For(s)
+	lb, ok := pareto.LowerBoundWires(d, target.Depth, maxWires)
+	if !ok {
+		return nil, fmt.Errorf("soc %s: some module cannot fit depth %d on %d wires",
+			s.Name, target.Depth, maxWires)
+	}
+	for w := lb; w <= maxWires; w++ {
+		if pk := tryPack(d, s, w, target.Depth); pk != nil {
+			return pk, nil
+		}
+	}
+	return nil, fmt.Errorf("soc %s cannot be packed into %d wires at depth %d",
+		s.Name, maxWires, target.Depth)
+}
+
+// tryPack attempts a skyline packing into a bin of the given wires × depth;
+// nil means failure.
+func tryPack(d *wrapper.Designer, s *soc.SOC, wires int, depth int64) *Packing {
+	modules := s.TestableModules()
+	// Pack larger modules first: decreasing minimum area, the classic
+	// bin-packing order of [7].
+	sort.SliceStable(modules, func(a, b int) bool {
+		aa := pareto.MinArea(d, modules[a], wires)
+		ab := pareto.MinArea(d, modules[b], wires)
+		if aa != ab {
+			return aa > ab
+		}
+		return modules[a] < modules[b]
+	})
+
+	// skyline[c] is the first free cycle on wire c.
+	skyline := make([]int64, wires)
+	pk := &Packing{SOC: s, Wires: wires, Depth: depth}
+	for _, mi := range modules {
+		pts := pareto.Points(d, mi, wires)
+		bestWaste := int64(-1)
+		var best Placement
+		for _, pt := range pts {
+			if pt.Time > depth {
+				continue
+			}
+			// Slide a window of pt.Width wires across the bin;
+			// the rectangle sits at the window's max skyline.
+			for c := 0; c+pt.Width <= wires; c++ {
+				start := skyline[c]
+				for x := c + 1; x < c+pt.Width; x++ {
+					if skyline[x] > start {
+						start = skyline[x]
+					}
+				}
+				if start+pt.Time > depth {
+					continue
+				}
+				// Waste: area trapped below the rectangle plus
+				// a mild preference for lower placements.
+				var trapped int64
+				for x := c; x < c+pt.Width; x++ {
+					trapped += start - skyline[x]
+				}
+				waste := trapped + start/4
+				if bestWaste < 0 || waste < bestWaste {
+					bestWaste = waste
+					best = Placement{Module: mi, Wire: c, Width: pt.Width,
+						Start: start, Time: pt.Time}
+				}
+			}
+		}
+		if bestWaste < 0 {
+			return nil
+		}
+		for x := best.Wire; x < best.Wire+best.Width; x++ {
+			skyline[x] = best.Start + best.Time
+		}
+		pk.Placements = append(pk.Placements, best)
+	}
+	return pk
+}
+
+// LowerBoundChannels re-exports the theoretical channel-count lower bound
+// of [7] for reporting alongside packing results.
+func LowerBoundChannels(s *soc.SOC, target ate.ATE) (int, bool) {
+	return pareto.LowerBoundChannels(wrapper.For(s), target.Depth, target.Channels/2)
+}

@@ -1,0 +1,55 @@
+// Package benchdata provides the SOCs used by the paper's evaluation:
+// the ITC'02 SOC Test Benchmark d695 (embedded from the parameters
+// republished throughout the TAM-optimization literature) and deterministic
+// synthetic stand-ins for the proprietary Philips chips p22810, p34392,
+// p93791 and PNX8550, calibrated to their published aggregate statistics
+// (see DESIGN.md §4 for the substitution rationale).
+package benchdata
+
+import "multisite/internal/soc"
+
+// D695 returns the ITC'02 benchmark d695: ten ISCAS-85/89 cores embedded
+// in a glue-logic top level. Terminal, scan-chain, and pattern counts
+// follow Iyengar, Chakrabarty, Marinissen (JETTA 2002) and the ITC'02
+// benchmark release.
+func D695() *soc.SOC {
+	return &soc.SOC{
+		Name: "d695",
+		Modules: []soc.Module{
+			{ID: 0, Name: "d695-top", Level: 0},
+			{ID: 1, Name: "c6288", Level: 1, Inputs: 32, Outputs: 32, Patterns: 12},
+			{ID: 2, Name: "c7552", Level: 1, Inputs: 207, Outputs: 108, Patterns: 73},
+			{ID: 3, Name: "s838", Level: 1, Inputs: 35, Outputs: 2, Patterns: 75,
+				ScanChains: soc.ChainsOfLengths(32)},
+			{ID: 4, Name: "s9234", Level: 1, Inputs: 36, Outputs: 39, Patterns: 105,
+				ScanChains: soc.ChainsOfLengths(54, 53, 52, 52)},
+			{ID: 5, Name: "s38584", Level: 1, Inputs: 38, Outputs: 304, Patterns: 110,
+				ScanChains: balancedChains(1426, 32)},
+			{ID: 6, Name: "s13207", Level: 1, Inputs: 62, Outputs: 152, Patterns: 234,
+				ScanChains: balancedChains(638, 16)},
+			{ID: 7, Name: "s15850", Level: 1, Inputs: 77, Outputs: 150, Patterns: 95,
+				ScanChains: balancedChains(534, 16)},
+			{ID: 8, Name: "s5378", Level: 1, Inputs: 35, Outputs: 49, Patterns: 97,
+				ScanChains: soc.ChainsOfLengths(46, 45, 44, 44)},
+			{ID: 9, Name: "s35932", Level: 1, Inputs: 35, Outputs: 320, Patterns: 12,
+				ScanChains: soc.UniformChains(32, 54)},
+			{ID: 10, Name: "s38417", Level: 1, Inputs: 28, Outputs: 106, Patterns: 68,
+				ScanChains: balancedChains(1636, 32)},
+		},
+	}
+}
+
+// balancedChains splits total scan flip-flops over n chains as evenly as
+// possible (lengths differ by at most one), longest first.
+func balancedChains(total, n int) []soc.ScanChain {
+	out := make([]soc.ScanChain, n)
+	q, r := total/n, total%n
+	for i := range out {
+		l := q
+		if i < r {
+			l++
+		}
+		out[i] = soc.ScanChain{Length: l}
+	}
+	return out
+}

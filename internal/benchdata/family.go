@@ -1,0 +1,99 @@
+package benchdata
+
+import "multisite/internal/soc"
+
+// The remaining ITC'02 SOC Test Benchmarks family, beyond the four chips
+// the paper's Table 1 uses. Like the p-chips, these are deterministic
+// synthetics: module counts follow the published benchmark set
+// (Marinissen, Iyengar, Chakrabarty, ITC 2002) and total minimum test
+// areas are order-of-magnitude calibrations from the TAM-optimization
+// literature. They widen the workload spectrum for the repository's own
+// sweeps — from the academic u226 (a handful of combinational cores) to
+// t512505 (one monster core that bottlenecks every architecture).
+
+// U226 returns a small academic SOC: 9 modules, combinational-heavy, the
+// easiest chip of the family.
+func U226() *soc.SOC {
+	return Generate(GenSpec{
+		Name: "u226", Seed: 226,
+		LogicCores: 5, MemoryCores: 4,
+		TargetArea:  Mi / 2,
+		Spread:      0.8,
+		MaxChainLen: 96,
+	})
+}
+
+// G1023 returns a mid-size academic SOC: 14 modules of comparable size.
+func G1023() *soc.SOC {
+	return Generate(GenSpec{
+		Name: "g1023", Seed: 1023,
+		LogicCores: 13, MemoryCores: 1,
+		TargetArea:  3 * Mi / 2,
+		Spread:      0.6,
+		MaxChainLen: 96,
+	})
+}
+
+// D281 returns the small industrial d281: 8 cores, light scan.
+func D281() *soc.SOC {
+	return Generate(GenSpec{
+		Name: "d281", Seed: 281,
+		LogicCores: 8, MemoryCores: 0,
+		TargetArea:  Mi / 3,
+		Spread:      0.9,
+		MaxChainLen: 64,
+	})
+}
+
+// H953 returns h953: 8 cores where one core's test dominates, so the
+// minimal channel count saturates early as memory deepens.
+func H953() *soc.SOC {
+	return Generate(GenSpec{
+		Name: "h953", Seed: 953,
+		LogicCores: 8, MemoryCores: 0,
+		TargetArea:  5 * Mi,
+		Spread:      2.2,  // one dominant core
+		MaxChainLen: 1024, // long, few chains: the core barely splits
+	})
+}
+
+// A586710 returns a586710: 7 cores, almost all volume in three huge DSPs —
+// the family's classic bottleneck chip.
+func A586710() *soc.SOC {
+	return Generate(GenSpec{
+		Name: "a586710", Seed: 586710,
+		LogicCores: 7, MemoryCores: 0,
+		TargetArea:  30 * Mi,
+		Spread:      2.0,
+		MaxChainLen: 4096, // the family's classic unsplittable DSPs
+	})
+}
+
+// T512505 returns t512505: 31 modules with one monster core holding most
+// of the test volume.
+func T512505() *soc.SOC {
+	return Generate(GenSpec{
+		Name: "t512505", Seed: 512505,
+		LogicCores: 30, MemoryCores: 1,
+		TargetArea:  25 * Mi,
+		Spread:      2.4,
+		MaxChainLen: 2048, // one monster core with long chains
+	})
+}
+
+// FamilyNames lists the extended-family benchmark names (not part of the
+// paper's Table 1).
+func FamilyNames() []string {
+	return []string{"u226", "d281", "g1023", "h953", "a586710", "t512505"}
+}
+
+func familySOCs() map[string]*soc.SOC {
+	return map[string]*soc.SOC{
+		"u226":    U226(),
+		"d281":    D281(),
+		"g1023":   G1023(),
+		"h953":    H953(),
+		"a586710": A586710(),
+		"t512505": T512505(),
+	}
+}

@@ -1,0 +1,79 @@
+// Package cli holds the shared command-line plumbing of the cmd/ tools:
+// size parsing in the paper's K/M units, benchmark/file SOC loading, and
+// architecture persistence. Keeping it out of the main packages makes the
+// behaviour unit-testable.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"multisite/internal/benchdata"
+	"multisite/internal/soc"
+)
+
+// ParseSize parses a vector-memory depth or test-area size with the
+// paper's unit suffixes: K = 2^10, M = 2^20; no suffix means raw units.
+// Fractional values like "1.5M" are accepted and rounded down.
+func ParseSize(s string) (int64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty size")
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'K', 'k':
+		mult = benchdata.Ki
+		s = s[:len(s)-1]
+	case 'M', 'm':
+		mult = benchdata.Mi
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %v", s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// FormatSize renders a size in the paper's style: exact multiples of M or
+// K use the suffix, everything else is raw.
+func FormatSize(v int64) string {
+	switch {
+	case v >= benchdata.Mi && v%benchdata.Mi == 0:
+		return fmt.Sprintf("%dM", v/benchdata.Mi)
+	case v >= benchdata.Ki && v%benchdata.Ki == 0:
+		return fmt.Sprintf("%dK", v/benchdata.Ki)
+	default:
+		return strconv.FormatInt(v, 10)
+	}
+}
+
+// LoadSOC resolves a chip from either a built-in benchmark name or a
+// .soc file path (exactly one must be given).
+func LoadSOC(benchmark, file string) (*soc.SOC, error) {
+	switch {
+	case benchmark != "" && file != "":
+		return nil, fmt.Errorf("use either a benchmark name or a file, not both")
+	case benchmark != "":
+		s := benchdata.Shared(benchmark)
+		if s == nil {
+			return nil, fmt.Errorf("unknown benchmark %q; available: %s",
+				benchmark, strings.Join(benchdata.Names(), ", "))
+		}
+		return s, nil
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return soc.Parse(f)
+	default:
+		return nil, fmt.Errorf("specify a benchmark name or a .soc file")
+	}
+}

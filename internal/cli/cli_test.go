@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multisite/internal/benchdata"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"64K", 64 * 1024},
+		{"7M", 7 << 20},
+		{"1.5M", 3 << 19},
+		{"100000", 100000},
+		{"0", 0},
+		{"48k", 48 * 1024},
+		{"2m", 2 << 20},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if err != nil {
+			t.Errorf("ParseSize(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSizeErrors(t *testing.T) {
+	for _, in := range []string{"", "xM", "-5K", "K"} {
+		if _, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) accepted", in)
+		}
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{7 << 20, "7M"},
+		{64 * 1024, "64K"},
+		{1000, "1000"},
+		{(1 << 20) + 1, "1048577"},
+	}
+	for _, c := range cases {
+		if got := FormatSize(c.in); got != c.want {
+			t.Errorf("FormatSize(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	for _, v := range []int64{64 * 1024, 7 << 20, 12345} {
+		got, err := ParseSize(FormatSize(v))
+		if err != nil || got != v {
+			t.Errorf("round trip %d → %q → %d (%v)", v, FormatSize(v), got, err)
+		}
+	}
+}
+
+func TestLoadSOCBenchmark(t *testing.T) {
+	s, err := LoadSOC("d695", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "d695" {
+		t.Errorf("loaded %q", s.Name)
+	}
+}
+
+func TestLoadSOCFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.soc")
+	text := "SocName filesoc\nModule 1 Inputs 4 Outputs 4 TotalPatterns 3 ScanChains 0\n"
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSOC("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "filesoc" || len(s.Modules) != 1 {
+		t.Errorf("loaded %+v", s)
+	}
+}
+
+func TestLoadSOCErrors(t *testing.T) {
+	if _, err := LoadSOC("", ""); err == nil {
+		t.Error("neither source accepted")
+	}
+	if _, err := LoadSOC("d695", "x.soc"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := LoadSOC("nope", ""); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := LoadSOC("", "/nonexistent/x.soc"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestBenchmarksAllLoadable(t *testing.T) {
+	for _, name := range benchdata.Names() {
+		if _, err := LoadSOC(name, ""); err != nil {
+			t.Errorf("benchmark %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package core implements the paper's primary contribution: the two-step
+// algorithm (Section 6) that designs an SOC's on-chip test infrastructure
+// for optimal multi-site testing on a given, fixed ATE.
+//
+// Step 1 designs the channel-group architecture that minimizes the per-SOC
+// ATE channel count k (priority) and the vector memory fill (secondary),
+// which maximizes the number of sites nmax that fit on the tester. Step 2
+// linear-searches the site count n from nmax down to 1, redistributing the
+// channels freed by giving up sites over the remaining sites (widening the
+// maximally-filled channel group first), and selects the n with maximum
+// test throughput. Maximizing sites is not the same as maximizing
+// throughput: fewer sites with wider TAMs can test faster per device.
+//
+// A flattened (non-modular) SOC is the degenerate case of a single module
+// (the paper's Problem 2) and flows through the same code path.
+package core
+
+import (
+	"fmt"
+
+	"multisite/internal/ate"
+	"multisite/internal/multisite"
+	"multisite/internal/soc"
+	"multisite/internal/tam"
+)
+
+// DefaultControlPins is the number of contacted terminals beyond the k
+// E-RPCT channels: test clocks, reset, and test-mode control.
+const DefaultControlPins = 10
+
+// Config gathers the optimizer inputs: the target test cell (ATE + probe
+// station) and the throughput model parameters.
+type Config struct {
+	// ATE is the target tester (channels, depth, clock, broadcast).
+	ATE ate.ATE
+	// Probe carries the index and contact-test times.
+	Probe ate.ProbeStation
+	// ContactYield pc and Yield pm; both default to 1 when zero.
+	ContactYield, Yield float64
+	// AbortOnFail and Retest select the cost-model variants of
+	// Section 5.
+	AbortOnFail, Retest bool
+	// ControlPins is the number of contacted pins beyond the k channels;
+	// negative means DefaultControlPins.
+	ControlPins int
+	// TAM tunes the Step 1 design (ablations).
+	TAM tam.Options
+}
+
+func (c Config) normalized() Config {
+	if c.ContactYield == 0 {
+		c.ContactYield = 1
+	}
+	if c.Yield == 0 {
+		c.Yield = 1
+	}
+	if c.ControlPins < 0 {
+		c.ControlPins = DefaultControlPins
+	}
+	return c
+}
+
+// SiteEval is the evaluation of one candidate site count.
+type SiteEval struct {
+	// Sites is the candidate n.
+	Sites int
+	// Channels is the per-site channel count k after redistribution.
+	Channels int
+	// TestCycles is the SOC test length in cycles after redistribution.
+	TestCycles int64
+	// TestTimeSec is TestCycles at the ATE clock.
+	TestTimeSec float64
+	// Throughput is Dth in devices per hour.
+	Throughput float64
+	// UniqueThroughput is Du in unique devices per hour (equals
+	// Throughput unless re-testing is enabled).
+	UniqueThroughput float64
+}
+
+// Result is the outcome of the two-step optimization.
+type Result struct {
+	// SOC is the chip optimized for.
+	SOC *soc.SOC
+	// Config echoes the normalized configuration.
+	Config Config
+	// Step1 is the minimal-channel architecture from Step 1.
+	Step1 *tam.Architecture
+	// MaxSites is nmax implied by Step 1's channel count.
+	MaxSites int
+	// Curve[i] is the Step 1+2 evaluation at n = i+1 sites (channels
+	// redistributed per site count).
+	Curve []SiteEval
+	// Step1Curve[i] evaluates n = i+1 sites with the Step 1
+	// architecture unchanged (the paper's dashed line in Fig. 5).
+	Step1Curve []SiteEval
+	// Best is the optimal evaluation: maximum throughput (unique
+	// throughput when re-testing).
+	Best SiteEval
+	// BestArch is the redistributed architecture at Best.Sites.
+	BestArch *tam.Architecture
+	// Arches[i] is the redistributed architecture at n = i+1 sites
+	// (shared with Step1 where no redistribution was possible).
+	Arches []*tam.Architecture
+}
+
+// Optimize runs the two-step algorithm for the SOC under the configuration.
+func Optimize(s *soc.SOC, cfg Config) (*Result, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Probe.Validate(); err != nil {
+		return nil, err
+	}
+	step1, err := tam.DesignStep1With(s, cfg.ATE, cfg.TAM)
+	if err != nil {
+		return nil, err
+	}
+	k := step1.Channels()
+	nmax := cfg.ATE.MaxSites(k)
+	if nmax < 1 {
+		return nil, fmt.Errorf("soc %s needs k=%d channels; ATE with %d channels cannot host a single site",
+			s.Name, k, cfg.ATE.Channels)
+	}
+
+	res := &Result{SOC: s, Config: cfg, Step1: step1, MaxSites: nmax}
+	res.Curve = make([]SiteEval, nmax)
+	res.Step1Curve = make([]SiteEval, nmax)
+	res.Arches = make([]*tam.Architecture, nmax)
+
+	for n := nmax; n >= 1; n-- {
+		// Step 1-only line: same architecture at every site count.
+		res.Step1Curve[n-1] = cfg.evaluate(step1, n)
+
+		// Step 2: redistribute freed channels over the n sites.
+		arch := step1
+		budget := cfg.ATE.MaxWiresPerSite(n) - step1.Wires()
+		if budget > 0 {
+			arch = step1.Clone()
+			arch.Widen(budget)
+		}
+		res.Arches[n-1] = arch
+		res.Curve[n-1] = cfg.evaluate(arch, n)
+
+		better := res.Curve[n-1].score(cfg) > res.Best.score(cfg)
+		if res.BestArch == nil || better {
+			res.Best = res.Curve[n-1]
+			res.BestArch = arch
+		}
+	}
+	return res, nil
+}
+
+// ReEvaluate re-scores the already-designed per-site-count architectures
+// under a different throughput model (e.g. another contact yield), without
+// re-running the architecture design. Only the cost-model fields of cfg
+// are honored; the ATE clock and channel budget must match the original
+// optimization. It returns the full curve and the best evaluation.
+func (r *Result) ReEvaluate(cfg Config) ([]SiteEval, SiteEval) {
+	cfg = cfg.normalized()
+	curve := make([]SiteEval, r.MaxSites)
+	var best SiteEval
+	for n := r.MaxSites; n >= 1; n-- {
+		curve[n-1] = cfg.evaluate(r.Arches[n-1], n)
+		if best.Sites == 0 || curve[n-1].score(cfg) > best.score(cfg) {
+			best = curve[n-1]
+		}
+	}
+	return curve, best
+}
+
+// score is the Step 2 objective: unique throughput when re-testing is
+// modeled, plain throughput otherwise.
+func (e SiteEval) score(cfg Config) float64 {
+	if cfg.Retest {
+		return e.UniqueThroughput
+	}
+	return e.Throughput
+}
+
+// evaluate computes the throughput of an architecture at n sites.
+func (cfg Config) evaluate(arch *tam.Architecture, n int) SiteEval {
+	k := arch.Channels()
+	cycles := arch.TestCycles()
+	tm := cfg.ATE.SecondsFor(cycles)
+	p := multisite.Params{
+		Sites:        n,
+		Pins:         k + cfg.ControlPins,
+		IndexTime:    cfg.Probe.IndexTime,
+		ContactTime:  cfg.Probe.ContactTime,
+		TestTime:     tm,
+		ContactYield: cfg.ContactYield,
+		Yield:        cfg.Yield,
+		AbortOnFail:  cfg.AbortOnFail,
+		Retest:       cfg.Retest,
+	}
+	return SiteEval{
+		Sites:            n,
+		Channels:         k,
+		TestCycles:       cycles,
+		TestTimeSec:      tm,
+		Throughput:       p.Throughput(),
+		UniqueThroughput: p.UniqueThroughput(),
+	}
+}
+
+// EvaluateAt exposes the per-site-count evaluation for a fixed architecture
+// (used by the experiment harness for Fig. 7(b)-style sweeps).
+func (cfg Config) EvaluateAt(arch *tam.Architecture, n int) SiteEval {
+	return cfg.normalized().evaluate(arch, n)
+}
+
+// GainOverStep1 returns the relative throughput gain of Step 1+2 over
+// Step 1 alone when the usable site count is capped at maxN (the paper's
+// "34% more throughput at n = 10" claim for PNX8550 with broadcast).
+func (r *Result) GainOverStep1(maxN int) float64 {
+	best1, best2 := 0.0, 0.0
+	for n := 1; n <= maxN && n <= r.MaxSites; n++ {
+		if t := r.Step1Curve[n-1].Throughput; t > best1 {
+			best1 = t
+		}
+		if t := r.Curve[n-1].Throughput; t > best2 {
+			best2 = t
+		}
+	}
+	if best1 == 0 {
+		return 0
+	}
+	return best2/best1 - 1
+}

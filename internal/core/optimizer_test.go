@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"multisite/internal/ate"
+	"multisite/internal/soc"
+)
+
+func testSOC() *soc.SOC {
+	return &soc.SOC{Name: "opt", Modules: []soc.Module{
+		{ID: 0, Name: "top"},
+		{ID: 1, Inputs: 32, Outputs: 32, Patterns: 12},
+		{ID: 2, Inputs: 20, Outputs: 10, Patterns: 73},
+		{ID: 3, Inputs: 35, Outputs: 2, Patterns: 75, ScanChains: soc.ChainsOfLengths(32)},
+		{ID: 4, Inputs: 36, Outputs: 39, Patterns: 105, ScanChains: soc.ChainsOfLengths(54, 53, 52, 52)},
+		{ID: 5, Inputs: 62, Outputs: 152, Patterns: 234, ScanChains: soc.UniformChains(16, 40)},
+	}}
+}
+
+func testConfig(channels int, depth int64, broadcast bool) Config {
+	return Config{
+		ATE:   ate.ATE{Channels: channels, Depth: depth, ClockHz: 5e6, Broadcast: broadcast},
+		Probe: ate.ProbeStation{IndexTime: 0.5, ContactTime: 0.1},
+	}
+}
+
+func TestOptimizeBasics(t *testing.T) {
+	res, err := Optimize(testSOC(), testConfig(64, 100_000, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSites < 1 {
+		t.Fatalf("MaxSites = %d", res.MaxSites)
+	}
+	if len(res.Curve) != res.MaxSites || len(res.Step1Curve) != res.MaxSites {
+		t.Fatalf("curve lengths %d/%d, want %d", len(res.Curve), len(res.Step1Curve), res.MaxSites)
+	}
+	if res.BestArch == nil {
+		t.Fatal("no best architecture")
+	}
+	if err := res.BestArch.Validate(); err != nil {
+		t.Errorf("best architecture invalid: %v", err)
+	}
+	if err := res.Step1.Validate(); err != nil {
+		t.Errorf("step1 architecture invalid: %v", err)
+	}
+}
+
+func TestOptimizeBestIsCurveMaximum(t *testing.T) {
+	res, err := Optimize(testSOC(), testConfig(64, 100_000, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Curve {
+		if e.Throughput > res.Best.Throughput+1e-9 {
+			t.Errorf("n=%d throughput %g exceeds Best %g", e.Sites, e.Throughput, res.Best.Throughput)
+		}
+	}
+}
+
+func TestStep2NeverWorseThanStep1(t *testing.T) {
+	for _, bc := range []bool{false, true} {
+		res, err := Optimize(testSOC(), testConfig(64, 100_000, bc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 1; n <= res.MaxSites; n++ {
+			if res.Curve[n-1].Throughput+1e-9 < res.Step1Curve[n-1].Throughput {
+				t.Errorf("broadcast=%v n=%d: Step1+2 %g below Step1-only %g",
+					bc, n, res.Curve[n-1].Throughput, res.Step1Curve[n-1].Throughput)
+			}
+		}
+	}
+}
+
+func TestStep2ChannelsWithinBudget(t *testing.T) {
+	for _, bc := range []bool{false, true} {
+		cfg := testConfig(64, 100_000, bc)
+		res, err := Optimize(testSOC(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 1; n <= res.MaxSites; n++ {
+			e := res.Curve[n-1]
+			if maxK := 2 * cfg.ATE.MaxWiresPerSite(n); e.Channels > maxK {
+				t.Errorf("broadcast=%v n=%d: k=%d exceeds budget %d", bc, n, e.Channels, maxK)
+			}
+			if cfg.ATE.MaxSites(e.Channels) < n {
+				t.Errorf("broadcast=%v n=%d: k=%d does not allow n sites", bc, n, e.Channels)
+			}
+		}
+	}
+}
+
+func TestBroadcastAllowsMoreSites(t *testing.T) {
+	no, err := Optimize(testSOC(), testConfig(64, 100_000, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	yes, err := Optimize(testSOC(), testConfig(64, 100_000, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if yes.MaxSites <= no.MaxSites {
+		t.Errorf("broadcast MaxSites %d not above %d", yes.MaxSites, no.MaxSites)
+	}
+}
+
+func TestFlattenedSOCDegenerateCase(t *testing.T) {
+	// Problem 2: a flattened SOC is a single module; the same code path
+	// must handle it (one channel group, wrapper = E-RPCT).
+	flat := &soc.SOC{Name: "flat", Modules: []soc.Module{
+		{ID: 1, Inputs: 50, Outputs: 40, Patterns: 200,
+			ScanChains: soc.UniformChains(8, 100)},
+	}}
+	res, err := Optimize(flat, testConfig(64, 500_000, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Step1.Groups) != 1 {
+		t.Errorf("flattened SOC got %d groups, want 1", len(res.Step1.Groups))
+	}
+	if res.Best.Sites < 1 {
+		t.Errorf("Best.Sites = %d", res.Best.Sites)
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	cfg := Config{}.normalized()
+	if cfg.ContactYield != 1 || cfg.Yield != 1 {
+		t.Errorf("yields default to %g/%g, want 1/1", cfg.ContactYield, cfg.Yield)
+	}
+	cfg2 := Config{ControlPins: -1}.normalized()
+	if cfg2.ControlPins != DefaultControlPins {
+		t.Errorf("ControlPins = %d, want %d", cfg2.ControlPins, DefaultControlPins)
+	}
+}
+
+func TestEvaluateThroughputFormula(t *testing.T) {
+	cfg := testConfig(64, 100_000, false)
+	res, err := Optimize(testSOC(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Curve[0] // n = 1
+	tm := float64(e.TestCycles) / 5e6
+	want := 3600 / (0.5 + 0.1 + tm)
+	if math.Abs(e.Throughput-want) > 1e-6 {
+		t.Errorf("n=1 throughput = %g, want %g", e.Throughput, want)
+	}
+}
+
+func TestReEvaluateMatchesOptimize(t *testing.T) {
+	cfg := testConfig(64, 100_000, false)
+	res, err := Optimize(testSOC(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, best := res.ReEvaluate(cfg)
+	if len(curve) != res.MaxSites {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := range curve {
+		if math.Abs(curve[i].Throughput-res.Curve[i].Throughput) > 1e-9 {
+			t.Errorf("n=%d: re-eval %g != original %g",
+				i+1, curve[i].Throughput, res.Curve[i].Throughput)
+		}
+	}
+	if math.Abs(best.Throughput-res.Best.Throughput) > 1e-9 {
+		t.Errorf("best mismatch: %g vs %g", best.Throughput, res.Best.Throughput)
+	}
+}
+
+func TestReEvaluateWithRetestPrefersFewerPins(t *testing.T) {
+	cfg := testConfig(64, 100_000, false)
+	res, err := Optimize(testSOC(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.ContactYield = 0.99
+	bad.Retest = true
+	_, best := res.ReEvaluate(bad)
+	if best.UniqueThroughput >= best.Throughput {
+		t.Error("unique throughput should be below raw throughput at pc<1")
+	}
+}
+
+func TestOptimizeInfeasible(t *testing.T) {
+	if _, err := Optimize(testSOC(), testConfig(64, 10, false)); err == nil {
+		t.Error("infeasible depth accepted")
+	}
+	// Channels too few for even one site.
+	flatWide := &soc.SOC{Name: "wide", Modules: []soc.Module{
+		{ID: 1, Inputs: 500, Outputs: 500, Patterns: 1000,
+			ScanChains: soc.UniformChains(64, 500)},
+	}}
+	if _, err := Optimize(flatWide, testConfig(4, 2000, false)); err == nil {
+		t.Error("oversubscribed SOC accepted")
+	}
+}
+
+func TestGainOverStep1NonNegative(t *testing.T) {
+	res, err := Optimize(testSOC(), testConfig(64, 100_000, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for capN := 1; capN <= res.MaxSites; capN++ {
+		if g := res.GainOverStep1(capN); g < -1e-9 {
+			t.Errorf("cap %d: negative gain %g", capN, g)
+		}
+	}
+}
+
+func TestAbortOnFailImprovesThroughput(t *testing.T) {
+	cfg := testConfig(64, 100_000, false)
+	cfg.Yield = 0.6
+	res, err := Optimize(testSOC(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abort := cfg
+	abort.AbortOnFail = true
+	_, bestAbort := res.ReEvaluate(abort)
+	_, bestFull := res.ReEvaluate(cfg)
+	if bestAbort.Throughput < bestFull.Throughput-1e-9 {
+		t.Errorf("abort-on-fail lowered throughput: %g < %g",
+			bestAbort.Throughput, bestFull.Throughput)
+	}
+}

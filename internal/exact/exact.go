@@ -1,0 +1,197 @@
+// Package exact is a branch-and-bound solver for the channel-group design
+// problem on small SOCs. The 2005 paper (and this reproduction's Step 1)
+// uses a greedy heuristic because the problem — partition modules into
+// fixed-width test buses such that every bus fills at most the vector
+// memory depth, minimizing total wires — is NP-hard; no ILP tooling is
+// assumed here. For SOCs of ≲ 12 testable modules, however, exhaustive
+// search over canonical set partitions with monotone pruning is cheap, and
+// gives the repository a ground truth to measure the heuristic's
+// optimality gap against (see the exactness tests and the abl-4 rows in
+// bench output).
+//
+// For a fixed partition the optimal width of each block is independent:
+// the smallest w at which the block's summed wrapped test time fits the
+// depth (the sum is non-increasing in w because each module's wrapped time
+// is). The solver therefore only searches the partition lattice,
+// enumerated in restricted-growth-string order so every partition is
+// visited exactly once, pruning on the monotone partial cost.
+package exact
+
+import (
+	"fmt"
+
+	"multisite/internal/ate"
+	"multisite/internal/soc"
+	"multisite/internal/wrapper"
+)
+
+// MaxModules bounds the exact search; beyond this the partition lattice
+// (Bell numbers) is too large and Solve returns an error.
+const MaxModules = 12
+
+// Solution is an optimal channel-group design.
+type Solution struct {
+	// Wires is the minimal total TAM wires; channels = 2·Wires.
+	Wires int
+	// Blocks lists the module indices of each group.
+	Blocks [][]int
+	// Widths[i] is the width of Blocks[i].
+	Widths []int
+	// TestCycles is the SOC test length of the optimal design (the
+	// maximum block fill at the chosen widths).
+	TestCycles int64
+	// Visited counts the partitions examined (diagnostics).
+	Visited int
+}
+
+// Channels returns 2·Wires.
+func (s *Solution) Channels() int { return 2 * s.Wires }
+
+type solver struct {
+	d        *wrapper.Designer
+	modules  []int
+	depth    int64
+	maxWires int
+
+	// search state
+	blocks  [][]int // current partition blocks
+	widths  []int   // minimal feasible width per block
+	cost    int     // Σ widths
+	best    *Solution
+	visited int
+}
+
+// Solve finds the minimum-wire channel-group design of the SOC on the
+// target ATE, or an error if the SOC is too large or infeasible.
+func Solve(s *soc.SOC, target ate.ATE) (*Solution, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	modules := s.TestableModules()
+	if len(modules) == 0 {
+		return nil, fmt.Errorf("exact: soc %s has no testable modules", s.Name)
+	}
+	if len(modules) > MaxModules {
+		return nil, fmt.Errorf("exact: %d testable modules exceed the exact-search limit of %d",
+			len(modules), MaxModules)
+	}
+	sv := &solver{
+		d:        wrapper.For(s),
+		modules:  modules,
+		depth:    target.Depth,
+		maxWires: target.Channels / 2,
+	}
+	// Feasibility of each module alone bounds the whole search.
+	for _, mi := range modules {
+		if _, ok := sv.d.MinWidth(mi, target.Depth, sv.maxWires); !ok {
+			return nil, fmt.Errorf("exact: module %d cannot fit depth %d on %d wires",
+				s.Modules[mi].ID, target.Depth, sv.maxWires)
+		}
+	}
+	sv.recurse(0)
+	if sv.best == nil {
+		return nil, fmt.Errorf("exact: no feasible partition within %d wires", sv.maxWires)
+	}
+	sv.best.Visited = sv.visited
+	return sv.best, nil
+}
+
+// blockMinWidth returns the smallest width at which the block (member
+// module indices) fits the depth, or ok=false. The block fill is
+// non-increasing in width, so binary search applies; block sizes are tiny,
+// so a doubling scan keeps it simple and exact.
+func (sv *solver) blockMinWidth(members []int) (int, bool) {
+	fits := func(w int) bool {
+		var fill int64
+		for _, mi := range members {
+			fill += sv.d.Time(mi, w)
+			if fill > sv.depth {
+				return false
+			}
+		}
+		return true
+	}
+	if !fits(sv.maxWires) {
+		return 0, false
+	}
+	lo, hi := 1, sv.maxWires
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fits(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// recurse assigns module index i (into sv.modules) to every existing block
+// plus a fresh block — the restricted-growth enumeration of set
+// partitions — pruning when the monotone partial cost cannot beat the
+// incumbent.
+func (sv *solver) recurse(i int) {
+	if sv.best != nil && sv.cost >= sv.best.Wires {
+		return // partial cost only grows as modules are added
+	}
+	if i == len(sv.modules) {
+		sv.visited++
+		sol := &Solution{Wires: sv.cost}
+		var cycles int64
+		for b, members := range sv.blocks {
+			blk := append([]int(nil), members...)
+			sol.Blocks = append(sol.Blocks, blk)
+			sol.Widths = append(sol.Widths, sv.widths[b])
+			var fill int64
+			for _, mi := range members {
+				fill += sv.d.Time(mi, sv.widths[b])
+			}
+			if fill > cycles {
+				cycles = fill
+			}
+		}
+		sol.TestCycles = cycles
+		if sv.best == nil || sol.Wires < sv.best.Wires ||
+			(sol.Wires == sv.best.Wires && sol.TestCycles < sv.best.TestCycles) {
+			sv.best = sol
+		}
+		return
+	}
+	mi := sv.modules[i]
+	// Join each existing block.
+	for b := range sv.blocks {
+		sv.blocks[b] = append(sv.blocks[b], mi)
+		oldW := sv.widths[b]
+		if w, ok := sv.blockMinWidth(sv.blocks[b]); ok {
+			sv.widths[b] = w
+			sv.cost += w - oldW
+			if sv.cost <= sv.maxWires {
+				sv.recurse(i + 1)
+			}
+			sv.cost -= w - oldW
+			sv.widths[b] = oldW
+		}
+		sv.blocks[b] = sv.blocks[b][:len(sv.blocks[b])-1]
+	}
+	// Open a fresh block (canonical: always the last position).
+	if w, ok := sv.blockMinWidth([]int{mi}); ok {
+		sv.blocks = append(sv.blocks, []int{mi})
+		sv.widths = append(sv.widths, w)
+		sv.cost += w
+		if sv.cost <= sv.maxWires {
+			sv.recurse(i + 1)
+		}
+		sv.cost -= w
+		sv.widths = sv.widths[:len(sv.widths)-1]
+		sv.blocks = sv.blocks[:len(sv.blocks)-1]
+	}
+}
+
+// Gap reports the heuristic's optimality gap in wires for a designed
+// architecture: heuristicWires − optimalWires (0 means optimal).
+func Gap(heuristicWires int, opt *Solution) int {
+	return heuristicWires - opt.Wires
+}

@@ -1,0 +1,409 @@
+// Package experiments regenerates every table and figure of the reproduced
+// paper's evaluation (Section 7), plus the ablations catalogued in
+// DESIGN.md. Each experiment returns a report.Figure or report.Table whose
+// rows mirror the series the paper plots; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+
+	"multisite/internal/ate"
+	"multisite/internal/baseline"
+	"multisite/internal/benchdata"
+	"multisite/internal/core"
+	"multisite/internal/report"
+	"multisite/internal/soc"
+	"multisite/internal/tam"
+	"multisite/internal/wafer"
+	"multisite/internal/wrapper"
+)
+
+// BaseChannels, BaseDepth and BaseClock are the paper's Section 7 target
+// test cell for the PNX8550 experiments: N = 512 channels, D = 7 M vectors
+// per channel, 5 MHz test clock.
+const (
+	BaseChannels = 512
+	BaseClock    = 5e6
+)
+
+// BaseDepth is 7 M vectors.
+var BaseDepth = 7 * benchdata.Mi
+
+// PNXConfig builds the standard configuration around the PNX8550
+// experiments: given channel count, depth, and broadcast capability, with
+// ti = 0.65 s and tc = 0.1 s (see DESIGN.md §4 on these constants).
+func PNXConfig(channels int, depth int64, broadcast bool) core.Config {
+	return core.Config{
+		ATE:   ate.ATE{Channels: channels, Depth: depth, ClockHz: BaseClock, Broadcast: broadcast},
+		Probe: ate.DefaultProbeStation(),
+	}
+}
+
+func mustOptimize(s *soc.SOC, cfg core.Config) *core.Result {
+	res, err := core.Optimize(s, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: optimize %s: %v", s.Name, err))
+	}
+	return res
+}
+
+// Fig5 reproduces Figure 5: throughput versus number of sites for the
+// PNX8550-class SOC on the base ATE, with and without stimuli broadcast,
+// with the Step 1-only line shown for the broadcast case (the paper's
+// dashed line). The note quantifies the Step 1+2 gain when the usable
+// multi-site is capped (the paper reports 34% at its cap).
+func Fig5() *report.Figure {
+	pnx := benchdata.Shared("pnx8550")
+	fig := &report.Figure{
+		Title:  "Fig. 5: throughput vs multi-site n (pnx8550, N=512, D=7M, 5MHz)",
+		XLabel: "n",
+		YLabel: "Dth (devices/hour)",
+	}
+	noBC := mustOptimize(pnx, PNXConfig(BaseChannels, BaseDepth, false))
+	bc := mustOptimize(pnx, PNXConfig(BaseChannels, BaseDepth, true))
+
+	s1 := &report.Series{Name: "Step1+2, no broadcast"}
+	for n := 1; n <= noBC.MaxSites; n++ {
+		s1.Add(float64(n), noBC.Curve[n-1].Throughput)
+	}
+	s2 := &report.Series{Name: "Step1+2, broadcast"}
+	s3 := &report.Series{Name: "Step1 only, broadcast"}
+	for n := 1; n <= bc.MaxSites; n++ {
+		s2.Add(float64(n), bc.Curve[n-1].Throughput)
+		s3.Add(float64(n), bc.Step1Curve[n-1].Throughput)
+	}
+	fig.Series = []*report.Series{s1, s2, s3}
+
+	capN := 8
+	gain := bc.GainOverStep1(capN)
+	figNote(fig, fmt.Sprintf("no broadcast: nmax=%d nopt=%d Dth=%.0f; broadcast: nmax=%d nopt=%d Dth=%.0f",
+		noBC.MaxSites, noBC.Best.Sites, noBC.Best.Throughput,
+		bc.MaxSites, bc.Best.Sites, bc.Best.Throughput))
+	figNote(fig, fmt.Sprintf("Step1+2 gain over Step1-only with multi-site capped at n=%d: %.0f%% (paper: 34%%)",
+		capN, 100*gain))
+	return fig
+}
+
+// figNotes carries per-figure notes; report.Figure has no note field, so
+// experiments attach them to the rendered table via a side map.
+var figNotes = map[*report.Figure][]string{}
+
+func figNote(f *report.Figure, note string) { figNotes[f] = append(figNotes[f], note) }
+
+// Render renders a figure with its attached notes.
+func Render(f *report.Figure) string {
+	t := f.Table()
+	t.Notes = append(t.Notes, figNotes[f]...)
+	return t.String()
+}
+
+// Fig6a reproduces Figure 6(a): throughput versus ATE channel count
+// 512…1024 at D = 7 M (no broadcast). The paper's observation: throughput
+// scales linearly in the channel count, because sites scale linearly while
+// the per-site test time is unchanged.
+func Fig6a() *report.Figure {
+	pnx := benchdata.Shared("pnx8550")
+	fig := &report.Figure{
+		Title:  "Fig. 6(a): throughput vs ATE channels (pnx8550, D=7M)",
+		XLabel: "N channels",
+		YLabel: "Dth",
+	}
+	s := &report.Series{Name: "Dth (devices/hour)"}
+	for n := 512; n <= 1024; n += 64 {
+		res := mustOptimize(pnx, PNXConfig(n, BaseDepth, false))
+		s.Add(float64(n), res.Best.Throughput)
+	}
+	fig.Series = []*report.Series{s}
+	first, last := s.Y[0], s.Y[len(s.Y)-1]
+	figNote(fig, fmt.Sprintf("N 512→1024: Dth %.0f→%.0f (x%.2f; paper: doubling channels doubles throughput)",
+		first, last, last/first))
+	return fig
+}
+
+// Fig6b reproduces Figure 6(b): throughput versus vector memory depth
+// 5…14 M at N = 512 (no broadcast). The paper's observation: throughput
+// grows sub-linearly in depth, because deeper memory both increases the
+// multi-site and lengthens the per-SOC test.
+func Fig6b() *report.Figure {
+	pnx := benchdata.Shared("pnx8550")
+	fig := &report.Figure{
+		Title:  "Fig. 6(b): throughput vs vector memory depth (pnx8550, N=512)",
+		XLabel: "depth (M)",
+		YLabel: "Dth",
+	}
+	s := &report.Series{Name: "Dth (devices/hour)"}
+	for m := int64(5); m <= 14; m++ {
+		res := mustOptimize(pnx, PNXConfig(BaseChannels, m*benchdata.Mi, false))
+		s.Add(float64(m), res.Best.Throughput)
+	}
+	fig.Series = []*report.Series{s}
+	var d7, d14 float64
+	for i, x := range s.X {
+		if x == 7 {
+			d7 = s.Y[i]
+		}
+		if x == 14 {
+			d14 = s.Y[i]
+		}
+	}
+	figNote(fig, fmt.Sprintf("D 7M→14M: Dth %.0f→%.0f (+%.0f%%; paper: +27%%, sub-linear)",
+		d7, d14, 100*(d14/d7-1)))
+	return fig
+}
+
+// CostTrade reproduces the Section 7 cost comparison: doubling the vector
+// memory of all 512 channels versus spending the same money on extra
+// channels.
+func CostTrade() *report.Table {
+	pnx := benchdata.Shared("pnx8550")
+	prices := ate.DefaultPriceModel()
+	base := mustOptimize(pnx, PNXConfig(BaseChannels, BaseDepth, false))
+
+	budget := prices.DoubleDepthCostUSD(ate.ATE{Channels: BaseChannels, Depth: BaseDepth, ClockHz: BaseClock})
+	deeper := mustOptimize(pnx, PNXConfig(BaseChannels, 2*BaseDepth, false))
+	extraCh := prices.ChannelsForBudgetUSD(budget)
+	wider := mustOptimize(pnx, PNXConfig(BaseChannels+extraCh, BaseDepth, false))
+
+	t := &report.Table{
+		Title:  "Section 7 cost trade-off: memory depth vs channels (pnx8550)",
+		Header: []string{"upgrade", "cost (USD)", "N", "D", "n_opt", "Dth", "gain"},
+	}
+	row := func(name string, cost float64, r *core.Result, chs int, depth int64) {
+		gain := r.Best.Throughput/base.Best.Throughput - 1
+		t.AddRow(name, int(cost), chs, fmt.Sprintf("%dM", depth/benchdata.Mi),
+			r.Best.Sites, r.Best.Throughput, fmt.Sprintf("%+.0f%%", 100*gain))
+	}
+	row("base", 0, base, BaseChannels, BaseDepth)
+	row("double memory", budget, deeper, BaseChannels, 2*BaseDepth)
+	row(fmt.Sprintf("+%d channels", extraCh), budget, wider, BaseChannels+extraCh, BaseDepth)
+	t.Notes = append(t.Notes,
+		"paper: for equal money, doubling memory gains +27% vs +18% for channels — memory wins")
+	return t
+}
+
+// Fig7a reproduces Figure 7(a): unique throughput versus vector memory
+// depth for contact yields pc ∈ {1, .9999, .9998, .999, .998, .99}, with
+// re-testing of contact failures. Deeper memory means fewer contacted
+// channels per device, hence a lower re-test rate.
+func Fig7a() *report.Figure {
+	pnx := benchdata.Shared("pnx8550")
+	fig := &report.Figure{
+		Title:  "Fig. 7(a): unique throughput vs depth under re-test (pnx8550, N=512)",
+		XLabel: "depth (M)",
+		YLabel: "Du (unique devices/hour)",
+	}
+	yields := []float64{1, 0.9999, 0.9998, 0.999, 0.998, 0.99}
+	series := make([]*report.Series, len(yields))
+	for i, pc := range yields {
+		series[i] = &report.Series{Name: fmt.Sprintf("pc=%g", pc)}
+	}
+	for m := int64(5); m <= 14; m++ {
+		res := mustOptimize(pnx, PNXConfig(BaseChannels, m*benchdata.Mi, false))
+		for i, pc := range yields {
+			cfg := res.Config
+			cfg.ContactYield = pc
+			cfg.Retest = true
+			_, best := res.ReEvaluate(cfg)
+			series[i].Add(float64(m), best.UniqueThroughput)
+		}
+	}
+	fig.Series = series
+	figNote(fig, "paper: the penalty of low contact yield shrinks as memory deepens (fewer contacted pins)")
+	return fig
+}
+
+// Fig7b reproduces Figure 7(b): the expected test application time under
+// abort-on-fail versus the number of sites, for manufacturing yields
+// pm ∈ {1, .98, .95, .90, .80, .70}. Multi-site testing quickly erases the
+// benefit of abort-on-fail: beyond a handful of sites some site almost
+// surely keeps passing, so the full test always runs.
+func Fig7b() *report.Figure {
+	pnx := benchdata.Shared("pnx8550")
+	res := mustOptimize(pnx, PNXConfig(BaseChannels, BaseDepth, false))
+	tm := res.Step1.TestCycles()
+	tmSec := float64(tm) / BaseClock
+	fig := &report.Figure{
+		Title:  "Fig. 7(b): abort-on-fail test time vs sites (pnx8550, tm full = " + fmt.Sprintf("%.3fs", tmSec) + ")",
+		XLabel: "n sites",
+		YLabel: "expected test time (s)",
+	}
+	yields := []float64{1, 0.98, 0.95, 0.90, 0.80, 0.70}
+	for _, pm := range yields {
+		s := &report.Series{Name: fmt.Sprintf("pm=%g", pm)}
+		for n := 1; n <= 8; n++ {
+			cfg := res.Config
+			cfg.Yield = pm
+			cfg.AbortOnFail = true
+			s.Add(float64(n), effectiveManufTime(cfg, res.Step1, n))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	figNote(fig, "paper: abort-on-fail benefit becomes invisible beyond n≈4 even at 70% yield")
+	return fig
+}
+
+// effectiveManufTime returns the Eq. 4.4 expected manufacturing test time
+// P'c·P'm·tm for the architecture at n sites.
+func effectiveManufTime(cfg core.Config, arch *tam.Architecture, n int) float64 {
+	e := cfg.EvaluateAt(arch, n)
+	// Throughput = 3600n/(ti+tc+teff) ⇒ teff = 3600n/Dth − ti − tc.
+	teff := 3600*float64(n)/e.Throughput - cfg.Probe.IndexTime - cfg.Probe.ContactTime
+	return teff
+}
+
+// Table1SOC describes one column block of Table 1.
+type Table1SOC struct {
+	// Name is the benchmark name.
+	Name string
+	// Channels is the ATE channel count the paper used for this SOC.
+	Channels int
+	// Depths are the vector memory depths of the 11 rows.
+	Depths []int64
+}
+
+// Table1SOCs returns the paper's Table 1 configuration: d695 on a 256-
+// channel ATE, the three Philips chips on 512 channels, with the paper's
+// depth sweeps (K = 2^10, M = 2^20 vectors).
+func Table1SOCs() []Table1SOC {
+	depths := func(start, step int64, n int) []int64 {
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = start + int64(i)*step
+		}
+		return out
+	}
+	return []Table1SOC{
+		{Name: "d695", Channels: 256, Depths: depths(48*benchdata.Ki, 8*benchdata.Ki, 11)},
+		{Name: "p22810", Channels: 512, Depths: depths(384*benchdata.Ki, 64*benchdata.Ki, 11)},
+		{Name: "p34392", Channels: 512, Depths: depths(768*benchdata.Ki, 128*benchdata.Ki, 11)},
+		{Name: "p93791", Channels: 512, Depths: depths(1024*benchdata.Ki, 256*benchdata.Ki, 11)},
+	}
+}
+
+// DepthLabel renders a depth in the paper's Table 1 style.
+func DepthLabel(d int64) string {
+	if d < benchdata.Mi {
+		return fmt.Sprintf("%dK", d/benchdata.Ki)
+	}
+	return fmt.Sprintf("%.3fM", float64(d)/float64(benchdata.Mi))
+}
+
+// Table1 reproduces Table 1: for each benchmark SOC and memory depth, the
+// theoretical lower bound on the channel count, the rectangle bin-packing
+// baseline of [7], and our Step 1 — channels k and maximum multi-site
+// nmax, under stimuli broadcast (the comparison basis the paper uses).
+func Table1() *report.Table {
+	t := &report.Table{
+		Title:  "Table 1: maximum multi-site, rectangle bin-packing [7] vs our Step 1 (broadcast)",
+		Header: []string{"SOC", "depth", "LB k", "[7] k", "us k", "[7] nmax", "us nmax"},
+	}
+	for _, cfgSOC := range Table1SOCs() {
+		s := benchdata.Shared(cfgSOC.Name)
+		for _, depth := range cfgSOC.Depths {
+			target := ate.ATE{Channels: cfgSOC.Channels, Depth: depth, ClockHz: BaseClock, Broadcast: true}
+			lb, ok := baseline.LowerBoundChannels(s, target)
+			if !ok {
+				t.AddRow(cfgSOC.Name, DepthLabel(depth), "-", "-", "-", "-", "-")
+				continue
+			}
+			pk, errB := baseline.Design(s, target)
+			arch, errU := tam.DesignStep1(s, target)
+			baseK, baseN := "-", "-"
+			if errB == nil {
+				baseK = fmt.Sprint(pk.Channels())
+				baseN = fmt.Sprint(target.MaxSites(pk.Channels()))
+			}
+			usK, usN := "-", "-"
+			if errU == nil {
+				usK = fmt.Sprint(arch.Channels())
+				usN = fmt.Sprint(target.MaxSites(arch.Channels()))
+			}
+			t.AddRow(cfgSOC.Name, DepthLabel(depth), lb, baseK, usK, baseN, usN)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"d695 uses the literature module data; p-chips are calibrated synthetics (DESIGN.md §4)",
+		"nmax = floor((2N-k)/k) under stimuli broadcast; N=256 (d695) / 512 (p-chips)")
+	return t
+}
+
+// AblationOptionRule compares Step 1's paper rule (choose the option with
+// maximum free memory) against always-new-group and prefer-widen, on every
+// benchmark at a representative depth.
+func AblationOptionRule() *report.Table {
+	t := &report.Table{
+		Title:  "Ablation: Step 1 option rule (channels k / test kcycles)",
+		Header: []string{"SOC", "depth", "max-free-mem k", "cyc", "new-group k", "cyc", "widen k", "cyc"},
+	}
+	cases := []struct {
+		name  string
+		n     int
+		depth int64
+	}{
+		{"d695", 256, 64 * benchdata.Ki},
+		{"p22810", 512, 512 * benchdata.Ki},
+		{"p34392", 512, benchdata.Mi},
+		{"p93791", 512, 2 * benchdata.Mi},
+		{"pnx8550", 512, 7 * benchdata.Mi},
+	}
+	for _, c := range cases {
+		s := benchdata.Shared(c.name)
+		target := ate.ATE{Channels: c.n, Depth: c.depth, ClockHz: BaseClock}
+		row := []interface{}{c.name, DepthLabel(c.depth)}
+		for _, rule := range []tam.OptionRule{tam.RuleMaxFreeMemory, tam.RuleAlwaysNewGroup, tam.RulePreferWiden} {
+			arch, err := tam.DesignStep1With(s, target, tam.Options{Rule: rule})
+			if err != nil {
+				row = append(row, "-", "-")
+				continue
+			}
+			row = append(row, arch.Channels(), arch.TestCycles()/1000)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// AblationWrapper compares COMBINE (Fit: best chain count ≤ w) against
+// plain LPT (FitExact: exactly w chains) by total module test time at
+// several TAM widths on d695.
+func AblationWrapper() *report.Table {
+	t := &report.Table{
+		Title:  "Ablation: COMBINE vs plain-LPT wrapper fit (d695, total module kcycles)",
+		Header: []string{"width", "COMBINE", "plain LPT", "LPT penalty"},
+	}
+	s := benchdata.Shared("d695")
+	for _, w := range []int{2, 4, 8, 12, 16, 24, 32} {
+		var combine, lpt int64
+		for _, mi := range s.TestableModules() {
+			m := &s.Modules[mi]
+			combine += wrapper.Fit(m, w).Time
+			lpt += wrapper.FitExact(m, w).Time
+		}
+		t.AddRow(w, combine/1000, lpt/1000,
+			fmt.Sprintf("%+.1f%%", 100*(float64(lpt)/float64(combine)-1)))
+	}
+	t.Notes = append(t.Notes,
+		"finding: with balanced chains, plain LPT at maximal chain count already matches COMBINE's search")
+	return t
+}
+
+// WaferPeriphery quantifies the multi-site periphery losses the paper
+// ignores: probe-card utilization on a 300 mm wafer for growing site
+// grids.
+func WaferPeriphery() *report.Table {
+	t := &report.Table{
+		Title:  "Extension: wafer periphery losses vs probe-card site grid (300mm wafer, 10x10mm die)",
+		Header: []string{"grid", "sites", "touchdowns", "dies probed", "wasted sites", "utilization"},
+	}
+	grids := [][2]int{{1, 1}, {2, 1}, {4, 1}, {8, 1}, {2, 2}, {4, 2}, {4, 4}, {8, 2}, {8, 4}, {16, 1}}
+	for _, g := range grids {
+		l := wafer.Layout{WaferDiameterMM: 300, DieWidthMM: 10, DieHeightMM: 10,
+			SitesX: g[0], SitesY: g[1]}
+		p := l.Step()
+		t.AddRow(fmt.Sprintf("%dx%d", g[0], g[1]), l.Sites(), p.Touchdowns,
+			p.DiesProbed, p.WastedSites, fmt.Sprintf("%.3f", p.Utilization()))
+	}
+	t.Notes = append(t.Notes, "the paper assumes utilization 1.0; larger probe arrays pay real periphery losses")
+	return t
+}

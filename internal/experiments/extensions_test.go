@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtExactGapAllZero(t *testing.T) {
+	tbl := ExtExactGap()
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[4] != "0" {
+			t.Errorf("d695 %s: heuristic gap %s wires (want provably optimal)", row[1], row[4])
+		}
+		// The exact optimum can never beat the lower bound.
+		var lb, exactK int
+		if _, err := sscan(row[2], &lb); err != nil {
+			continue
+		}
+		if _, err := sscan(row[3], &exactK); err != nil {
+			continue
+		}
+		if exactK < lb {
+			t.Errorf("%s: exact %d below LB %d", row[1], exactK, lb)
+		}
+	}
+}
+
+func TestExtControlOverhead(t *testing.T) {
+	tbl := ExtControlOverhead()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		frac := row[5]
+		if !strings.HasSuffix(frac, "%") {
+			t.Fatalf("bad overhead cell %q", frac)
+		}
+		var v float64
+		if _, err := sscan(strings.TrimSuffix(frac, "%"), &v); err != nil {
+			t.Fatal(err)
+		}
+		switch row[0] {
+		case "pnx8550":
+			// The monster chip's serial WIR chain is the one place
+			// the paper's neglect-control assumption strains.
+			if v < 1 || v > 10 {
+				t.Errorf("pnx8550 overhead %.2f%% outside expected 1-10%%", v)
+			}
+		default:
+			if v >= 1 {
+				t.Errorf("%s overhead %.2f%% should be below 1%%", row[0], v)
+			}
+		}
+	}
+}
+
+func TestExtSchedulingGainNonNegative(t *testing.T) {
+	tbl := ExtSchedulingGain()
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 SOCs x 3 yields)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		var before, after float64
+		if _, err := sscan(row[2], &before); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[3], &after); err != nil {
+			t.Fatal(err)
+		}
+		if after > before*(1+1e-9) {
+			t.Errorf("%s yield %s: ordering increased E[cycles] %g → %g",
+				row[0], row[1], before, after)
+		}
+	}
+}
+
+func TestExtCostPerDeviceMonotoneDown(t *testing.T) {
+	tbl := ExtCostPerDevice()
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var first, last float64
+	if _, err := sscan(tbl.Rows[0][2], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tbl.Rows[len(tbl.Rows)-1][2], &last); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's motivation: multi-site testing slashes cost/device.
+	if last >= first/2 {
+		t.Errorf("cost per device only fell %g → %g; expected better than 2x", first, last)
+	}
+}
+
+func TestExtTestFlowWaferOutparallelizesFinal(t *testing.T) {
+	tbl := ExtTestFlow()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var waferD, finalD float64
+	if _, err := sscan(tbl.Rows[0][3], &waferD); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tbl.Rows[1][3], &finalD); err != nil {
+		t.Fatal(err)
+	}
+	// The Section 3 asymmetry: the E-RPCT wafer stage far outruns the
+	// all-pins final stage on the same tester class.
+	if waferD <= 2*finalD {
+		t.Errorf("wafer %g not clearly above final %g", waferD, finalD)
+	}
+	var retestD float64
+	if _, err := sscan(tbl.Rows[2][3], &retestD); err != nil {
+		t.Fatal(err)
+	}
+	if retestD >= finalD {
+		t.Error("internal re-test at final should cost throughput")
+	}
+}
+
+func TestExtFamilySweep(t *testing.T) {
+	tbl := ExtFamilySweep()
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		// At depth = A every chip fits on very few channels; k must be
+		// monotone non-increasing as depth grows across the row.
+		prev := 1 << 30
+		for _, cell := range row[3:] {
+			if cell == "-" {
+				continue // infeasible shallow depth on bottleneck chips
+			}
+			var k int
+			if _, err := sscan(cell, &k); err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			if k > prev {
+				t.Errorf("%s: k rose with deeper memory (%v)", row[0], row[3:])
+			}
+			prev = k
+		}
+	}
+	// The bottleneck chips must be infeasible at the shallowest depth.
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "h953", "a586710", "t512505":
+			if row[3] != "-" {
+				t.Errorf("%s expected infeasible at A/8, got %s", row[0], row[3])
+			}
+		}
+	}
+}
+
+func TestExtTDCComposes(t *testing.T) {
+	tbl := ExtTDC()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var prevD float64
+	for i, row := range tbl.Rows {
+		var d float64
+		if _, err := sscan(row[5], &d); err != nil {
+			t.Fatalf("bad Dth cell %q", row[5])
+		}
+		if i > 0 && d <= prevD {
+			t.Errorf("compression %s did not raise throughput: %g after %g", row[0], d, prevD)
+		}
+		prevD = d
+	}
+	// 2x compression must roughly double throughput (composition).
+	var d1, d2 float64
+	if _, err := sscan(tbl.Rows[0][5], &d1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tbl.Rows[1][5], &d2); err != nil {
+		t.Fatal(err)
+	}
+	if ratio := d2 / d1; ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("2x TDC gives x%.2f throughput, want ≈2x", ratio)
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multisite/internal/report"
+)
+
+var update = flag.Bool("update", false, "rewrite golden experiment outputs")
+
+// goldenCases are the fully deterministic experiment artifacts pinned as
+// golden files: any change to the algorithms that shifts a reproduced
+// number shows up as a diff here.
+func goldenCases() map[string]func() *report.Table {
+	return map[string]func() *report.Table{
+		"table1":    Table1,
+		"fig7b":     func() *report.Table { return Fig7b().Table() },
+		"abl3":      WaferPeriphery,
+		"ext-exact": ExtExactGap,
+	}
+}
+
+func TestGolden(t *testing.T) {
+	for name, run := range goldenCases() {
+		t.Run(name, func(t *testing.T) {
+			got := run().String()
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

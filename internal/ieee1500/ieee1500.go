@@ -1,0 +1,188 @@
+// Package ieee1500 models the standardized core test wrapper control that
+// the paper's architecture presupposes: each embedded module carries an
+// IEEE 1500-style wrapper with a wrapper instruction register (WIR), a
+// bypass register (WBY), and a wrapper boundary register (WBR); all
+// wrappers are daisy-chained on a serial control chain the tester programs
+// before (and between) module tests. The package quantifies the control
+// overhead of a channel-group test schedule — the cycles spent selecting
+// which module is in INTEST while the others sit in BYPASS — which the
+// paper implicitly treats as negligible and this model makes checkable.
+package ieee1500
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"multisite/internal/tam"
+)
+
+// Instruction is a wrapper instruction.
+type Instruction uint8
+
+const (
+	// WSBypass routes the control chain through the 1-bit WBY.
+	WSBypass Instruction = iota
+	// WSIntestScan selects internal test through the wrapper chains.
+	WSIntestScan
+	// WSExtest selects interconnect test through the WBR.
+	WSExtest
+	// WSSafe parks the core with safe output values.
+	WSSafe
+)
+
+// String names the instruction.
+func (i Instruction) String() string {
+	switch i {
+	case WSBypass:
+		return "WS_BYPASS"
+	case WSIntestScan:
+		return "WS_INTEST_SCAN"
+	case WSExtest:
+		return "WS_EXTEST"
+	case WSSafe:
+		return "WS_SAFE"
+	default:
+		return fmt.Sprintf("Instruction(%d)", uint8(i))
+	}
+}
+
+// WIRLength is the instruction register length per core wrapper; 1500
+// implementations commonly use 3–8 bits, enough for the instruction set
+// plus user codes.
+const WIRLength = 4
+
+// CoreWrapper is the 1500 wrapper of one module.
+type CoreWrapper struct {
+	// Module is the index into the SOC's Modules slice.
+	Module int
+	// Name echoes the module name for netlists.
+	Name string
+	// BoundaryCells is the WBR length: one cell per functional
+	// terminal (bidirectionals carry two).
+	BoundaryCells int
+	// Chains is the parallel wrapper-chain count the TAM connects to
+	// (the module's wrapper design at its group width).
+	Chains int
+}
+
+// ControlChain is the serial daisy-chain of all core wrappers of an SOC's
+// architecture, in group order.
+type ControlChain struct {
+	// Wrappers in chain order.
+	Wrappers []CoreWrapper
+	// byModule locates a wrapper by module index.
+	byModule map[int]int
+}
+
+// ForArchitecture builds the control chain of a designed architecture:
+// one 1500 wrapper per testable module, in group/member order.
+func ForArchitecture(arch *tam.Architecture) *ControlChain {
+	cc := &ControlChain{byModule: make(map[int]int)}
+	for _, g := range arch.Groups {
+		for _, mi := range g.Members {
+			m := &arch.SOC.Modules[mi]
+			d := arch.Designer.Fit(mi, g.Width)
+			cc.byModule[mi] = len(cc.Wrappers)
+			cc.Wrappers = append(cc.Wrappers, CoreWrapper{
+				Module:        mi,
+				Name:          m.Name,
+				BoundaryCells: m.InputCells() + m.OutputCells(),
+				Chains:        d.Chains,
+			})
+		}
+	}
+	return cc
+}
+
+// WIRChainBits is the total shift length of the WIR chain.
+func (cc *ControlChain) WIRChainBits() int {
+	return WIRLength * len(cc.Wrappers)
+}
+
+// ProgramCycles returns the cycles to program one configuration: shift the
+// full WIR chain plus capture/update protocol overhead.
+func (cc *ControlChain) ProgramCycles() int64 {
+	// Capture, shift N bits, update, return to idle: N + 4.
+	return int64(cc.WIRChainBits()) + 4
+}
+
+// Program returns the per-wrapper instruction vector that puts the given
+// modules in INTEST and everything else in BYPASS.
+func (cc *ControlChain) Program(active []int) ([]Instruction, error) {
+	out := make([]Instruction, len(cc.Wrappers))
+	for i := range out {
+		out[i] = WSBypass
+	}
+	for _, mi := range active {
+		idx, ok := cc.byModule[mi]
+		if !ok {
+			return nil, fmt.Errorf("ieee1500: module %d has no wrapper in the chain", mi)
+		}
+		out[idx] = WSIntestScan
+	}
+	return out, nil
+}
+
+// ScheduleOverhead returns the total control cycles of a full test session
+// for the architecture: one chain programming before each module slot.
+// Channel groups run concurrently, but the serial control chain is shared,
+// so programmings serialize; the architecture's schedule has one slot per
+// module.
+func ScheduleOverhead(arch *tam.Architecture) int64 {
+	cc := ForArchitecture(arch)
+	var slots int64
+	for _, g := range arch.Groups {
+		slots += int64(len(g.Members))
+	}
+	return slots * cc.ProgramCycles()
+}
+
+// OverheadFraction returns the control overhead relative to the test
+// length — the quantity that justifies the paper ignoring it.
+func OverheadFraction(arch *tam.Architecture) float64 {
+	test := arch.TestCycles()
+	if test == 0 {
+		return 0
+	}
+	return float64(ScheduleOverhead(arch)) / float64(test)
+}
+
+// WriteNetlist emits a structural sketch of the control chain: the WIR
+// daisy-chain and per-core wrapper instances.
+func (cc *ControlChain) WriteNetlist(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// IEEE 1500 wrapper control chain: %d cores, WIR chain %d bits\n",
+		len(cc.Wrappers), cc.WIRChainBits())
+	fmt.Fprintf(&b, "module wsc_chain (input wire wrck, wrstn, selectwir, capturewir, shiftwir, updatewir, wsi, output wire wso);\n")
+	prev := "wsi"
+	for i, cw := range cc.Wrappers {
+		name := cw.Name
+		if name == "" {
+			name = fmt.Sprintf("core%d", cw.Module)
+		}
+		out := fmt.Sprintf("wso_%d", i)
+		if i == len(cc.Wrappers)-1 {
+			out = "wso"
+		}
+		fmt.Fprintf(&b, "  wrapper1500 #(.WIR(%d), .WBR(%d), .CHAINS(%d)) u_%s (.wsi(%s), .wso(%s));\n",
+			WIRLength, cw.BoundaryCells, cw.Chains, sanitize(name), prev, out)
+		prev = out
+	}
+	fmt.Fprintf(&b, "endmodule\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}

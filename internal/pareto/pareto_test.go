@@ -1,0 +1,173 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multisite/internal/soc"
+	"multisite/internal/wrapper"
+)
+
+func paretoSOC() *soc.SOC {
+	return &soc.SOC{Name: "par", Modules: []soc.Module{
+		{ID: 0},
+		{ID: 1, Inputs: 32, Outputs: 32, Patterns: 12},
+		{ID: 2, Inputs: 35, Outputs: 2, Patterns: 75, ScanChains: soc.ChainsOfLengths(32)},
+		{ID: 3, Inputs: 36, Outputs: 39, Patterns: 105, ScanChains: soc.ChainsOfLengths(54, 53, 52, 52)},
+	}}
+}
+
+func TestPointsStrictlyDecreasing(t *testing.T) {
+	s := paretoSOC()
+	d := wrapper.NewDesigner(s)
+	for _, mi := range s.TestableModules() {
+		pts := Points(d, mi, 32)
+		if len(pts) == 0 {
+			t.Fatalf("module %d: no pareto points", mi)
+		}
+		if pts[0].Width != 1 {
+			t.Errorf("module %d: first point width %d, want 1", mi, pts[0].Width)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Time >= pts[i-1].Time {
+				t.Errorf("module %d: point %d time %d not below %d",
+					mi, i, pts[i].Time, pts[i-1].Time)
+			}
+			if pts[i].Width <= pts[i-1].Width {
+				t.Errorf("module %d: widths not increasing", mi)
+			}
+		}
+	}
+}
+
+func TestPointsMatchDesigner(t *testing.T) {
+	s := paretoSOC()
+	d := wrapper.NewDesigner(s)
+	for _, mi := range s.TestableModules() {
+		for _, p := range Points(d, mi, 32) {
+			if got := d.Time(mi, p.Width); got != p.Time {
+				t.Errorf("module %d width %d: point time %d != designer %d",
+					mi, p.Width, p.Time, got)
+			}
+		}
+	}
+}
+
+func TestMinAreaIsMinimum(t *testing.T) {
+	s := paretoSOC()
+	d := wrapper.NewDesigner(s)
+	for _, mi := range s.TestableModules() {
+		min := MinArea(d, mi, 32)
+		for w := 1; w <= 32; w++ {
+			area := int64(w) * d.Time(mi, w)
+			if area < min {
+				t.Errorf("module %d: width %d area %d below MinArea %d", mi, w, area, min)
+			}
+		}
+	}
+}
+
+func TestMinAreaWithinDepth(t *testing.T) {
+	s := paretoSOC()
+	d := wrapper.NewDesigner(s)
+	mi := 3
+	// Unconstrained minimum is at width 1; a tight depth forces wider,
+	// larger-area rectangles.
+	unconstrained := MinArea(d, mi, 32)
+	tight := d.Time(mi, 8)
+	a, ok := MinAreaWithin(d, mi, 32, tight)
+	if !ok {
+		t.Fatal("MinAreaWithin infeasible at achievable depth")
+	}
+	if a < unconstrained {
+		t.Errorf("constrained area %d below unconstrained %d", a, unconstrained)
+	}
+	if _, ok := MinAreaWithin(d, mi, 32, 1); ok {
+		t.Error("depth 1 should be infeasible")
+	}
+}
+
+func TestLowerBoundWires(t *testing.T) {
+	s := paretoSOC()
+	d := wrapper.NewDesigner(s)
+	lb, ok := LowerBoundWires(d, 10000, 64)
+	if !ok {
+		t.Fatal("LB infeasible")
+	}
+	if lb < 1 {
+		t.Errorf("LB = %d", lb)
+	}
+	// The volume bound must hold: lb ≥ ceil(Σ minArea / depth).
+	var area int64
+	for _, mi := range s.TestableModules() {
+		a, _ := MinAreaWithin(d, mi, 64, 10000)
+		area += a
+	}
+	if want := int((area + 9999) / 10000); lb < want {
+		t.Errorf("LB %d below volume bound %d", lb, want)
+	}
+	// Infeasible depth propagates.
+	if _, ok := LowerBoundWires(d, 1, 64); ok {
+		t.Error("LB should be infeasible at depth 1")
+	}
+}
+
+func TestLowerBoundChannelsEven(t *testing.T) {
+	s := paretoSOC()
+	d := wrapper.NewDesigner(s)
+	k, ok := LowerBoundChannels(d, 10000, 64)
+	if !ok || k%2 != 0 {
+		t.Errorf("LowerBoundChannels = (%d,%v), want even", k, ok)
+	}
+}
+
+func TestTotalMinArea(t *testing.T) {
+	s := paretoSOC()
+	got := TotalMinArea(s)
+	d := wrapper.NewDesigner(s)
+	var want int64
+	for _, mi := range s.TestableModules() {
+		want += MinArea(d, mi, d.MaxWidthTable(mi))
+	}
+	if got != want {
+		t.Errorf("TotalMinArea = %d, want %d", got, want)
+	}
+}
+
+func TestPropertyParetoDominance(t *testing.T) {
+	// Every width's (w, T(w)) is dominated by some Pareto point.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := soc.Module{
+			ID: 1, Inputs: rng.Intn(40), Outputs: rng.Intn(40),
+			Patterns: 1 + rng.Intn(100),
+		}
+		for c := rng.Intn(5); c > 0; c-- {
+			m.ScanChains = append(m.ScanChains, soc.ScanChain{Length: 1 + rng.Intn(60)})
+		}
+		if m.ScanCells() == 0 && m.Terminals() == 0 {
+			m.Inputs = 1
+		}
+		s := &soc.SOC{Name: "p", Modules: []soc.Module{m}}
+		d := wrapper.NewDesigner(s)
+		pts := Points(d, 0, 16)
+		for w := 1; w <= 16; w++ {
+			tw := d.Time(0, w)
+			dominated := false
+			for _, p := range pts {
+				if p.Width <= w && p.Time <= tw {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

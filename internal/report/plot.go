@@ -1,0 +1,100 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotOptions controls ASCII figure rendering.
+type PlotOptions struct {
+	// Width and Height are the plot area in characters; zero means
+	// 64×20.
+	Width, Height int
+}
+
+// markers distinguish up to eight series in a plot.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders the figure as an ASCII chart — the closest a terminal
+// gets to the paper's figures. Series points are scattered with one
+// marker per series; axes are annotated with the data ranges.
+func (f *Figure) Plot(opts PlotOptions) string {
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range f.Series {
+		for i := range s.X {
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return f.Title + " (no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range f.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			c := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(w-1)))
+			r := h - 1 - int(math.Round((s.Y[i]-ymin)/(ymax-ymin)*float64(h-1)))
+			if grid[r][c] != ' ' && grid[r][c] != m {
+				grid[r][c] = '?' // collision between series
+			} else {
+				grid[r][c] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	yLo, yHi := FormatFloat(ymin), FormatFloat(ymax)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", margin, yHi)
+		} else if r == h-1 {
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", margin), w-len(FormatFloat(xmax)),
+		FormatFloat(xmin), FormatFloat(xmax))
+	if f.XLabel != "" || f.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", f.XLabel, f.YLabel)
+	}
+	for si, s := range f.Series {
+		if s.Name != "" {
+			fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+		}
+	}
+	return b.String()
+}

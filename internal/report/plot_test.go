@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotFigure() *Figure {
+	f := &Figure{Title: "demo plot", XLabel: "n", YLabel: "Dth"}
+	a := &Series{Name: "rising"}
+	b := &Series{Name: "falling"}
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i), float64(i*i))
+		b.Add(float64(i), float64(100-i*i))
+	}
+	f.Series = []*Series{a, b}
+	return f
+}
+
+func TestPlotContainsMarkersAndLegend(t *testing.T) {
+	out := plotFigure().Plot(PlotOptions{})
+	for _, want := range []string{"demo plot", "*", "o", "rising", "falling", "x: n   y: Dth"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotDimensions(t *testing.T) {
+	out := plotFigure().Plot(PlotOptions{Width: 40, Height: 10})
+	lines := strings.Split(out, "\n")
+	rows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			rows++
+			if got := len(l[strings.Index(l, "|")+1:]); got != 40 {
+				t.Errorf("plot row width %d, want 40", got)
+			}
+		}
+	}
+	if rows != 10 {
+		t.Errorf("plot rows = %d, want 10", rows)
+	}
+}
+
+func TestPlotAxisLabels(t *testing.T) {
+	out := plotFigure().Plot(PlotOptions{})
+	// y range 0..100, x range 0..9 must appear.
+	for _, want := range []string{"100", "0", "9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing axis label %q", want)
+		}
+	}
+}
+
+func TestPlotEmptyFigure(t *testing.T) {
+	f := &Figure{Title: "empty"}
+	out := f.Plot(PlotOptions{})
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	f := &Figure{Title: "pt"}
+	s := &Series{Name: "s"}
+	s.Add(5, 7)
+	f.Series = []*Series{s}
+	out := f.Plot(PlotOptions{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestPlotCollisionMarker(t *testing.T) {
+	f := &Figure{}
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	a.Add(0, 0)
+	a.Add(1, 1)
+	b.Add(0, 0) // lands on the same cell as a's point
+	b.Add(1, 0)
+	f.Series = []*Series{a, b}
+	out := f.Plot(PlotOptions{Width: 10, Height: 5})
+	if !strings.Contains(out, "?") {
+		t.Errorf("collision not marked:\n%s", out)
+	}
+}

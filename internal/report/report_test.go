@@ -1,0 +1,114 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", 42)
+	tbl.AddRow("beta", 3.14159)
+	tbl.Notes = append(tbl.Notes, "a note")
+	out := tbl.String()
+	for _, want := range []string{"demo", "name", "alpha", "42", "3.142", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "bbbb"}}
+	tbl.AddRow("xxxxxx", 1)
+	lines := strings.Split(tbl.String(), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("unexpected output:\n%s", tbl.String())
+	}
+	// Header and row must have the same width (no title here, so the
+	// header is line 0 and the first row line 2).
+	if len(lines[0]) != len(lines[2]) {
+		t.Errorf("misaligned: header %q (%d) vs row %q (%d)",
+			lines[0], len(lines[0]), lines[2], len(lines[2]))
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{42, "42"},
+		{-3, "-3"},
+		{12345.678, "12345.7"},
+		{0.5, "0.500"},
+		{1.468, "1.468"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}}
+	tbl.AddRow("x,y", `quote"d`)
+	tbl.AddRow("plain", 7)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "a,b\n\"x,y\",\"quote\"\"d\"\nplain,7\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestSeriesAdd(t *testing.T) {
+	s := &Series{Name: "s"}
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if len(s.X) != 2 || s.Y[1] != 20 {
+		t.Errorf("series = %+v", s)
+	}
+}
+
+func TestFigureTableUnionOfX(t *testing.T) {
+	f := &Figure{Title: "fig", XLabel: "x", YLabel: "y"}
+	a := &Series{Name: "a"}
+	a.Add(1, 11)
+	a.Add(2, 12)
+	b := &Series{Name: "b"}
+	b.Add(2, 22)
+	b.Add(3, 23)
+	f.Series = []*Series{a, b}
+	tbl := f.Table()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (union of x)", len(tbl.Rows))
+	}
+	// x=1 has no value for series b: empty cell.
+	if tbl.Rows[0][2] != "" {
+		t.Errorf("expected empty cell, got %q", tbl.Rows[0][2])
+	}
+	if tbl.Rows[1][1] != "12" || tbl.Rows[1][2] != "22" {
+		t.Errorf("x=2 row = %v", tbl.Rows[1])
+	}
+	if !strings.Contains(f.String(), "fig") {
+		t.Error("figure title missing from render")
+	}
+}
+
+func TestFigureUnnamedSeriesUsesYLabel(t *testing.T) {
+	f := &Figure{XLabel: "x", YLabel: "throughput"}
+	s := &Series{}
+	s.Add(1, 1)
+	f.Series = []*Series{s}
+	if got := f.Table().Header[1]; got != "throughput" {
+		t.Errorf("header = %q", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package sched implements abort-on-fail-aware test scheduling, an
+// extension of the reproduced paper. The paper models abort-on-fail but
+// keeps the module order within a channel group arbitrary (the order does
+// not change the total fill). Under abort-on-fail at a single site,
+// however, the order matters: the test stops at the first failing module,
+// so fragile, short tests should run first. For sequential testing with
+// per-module pass probabilities the expected time
+//
+//	E[T] = Σ_i t_i · Π_{j<i} p_j
+//
+// is minimized by the classic ratio rule: order modules by
+// t_i / (1 − p_i) ascending (time over fail probability; adjacent-exchange
+// argument) — a short test that likely fails buys the largest expected
+// saving. This package scores and reorders architectures accordingly and
+// quantifies the gain, which the experiment harness reports as extension
+// ext-sched.
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"multisite/internal/tam"
+)
+
+// YieldModel returns the pass probability of a module (by index into the
+// SOC's Modules slice).
+type YieldModel func(mi int) float64
+
+// UniformYield treats every module as equally likely to pass.
+func UniformYield(p float64) YieldModel {
+	return func(int) float64 { return p }
+}
+
+// VolumeWeightedYield derates the pass probability with the module's test
+// data volume: defect density makes big cores fail more often. The chip
+// yield is distributed over modules proportionally to their test bits:
+// p_m = chipYield^(bits_m / Σbits).
+func VolumeWeightedYield(arch *tam.Architecture, chipYield float64) YieldModel {
+	var total float64
+	for _, mi := range arch.SOC.TestableModules() {
+		total += float64(arch.SOC.Modules[mi].TestBits())
+	}
+	return func(mi int) float64 {
+		if total == 0 {
+			return chipYield
+		}
+		frac := float64(arch.SOC.Modules[mi].TestBits()) / total
+		return math.Pow(chipYield, frac)
+	}
+}
+
+// ExpectedGroupCycles returns the expected abort-on-fail test length of
+// one group under the yield model, assuming a single site and abort at the
+// end of the failing module's test (a conservative bound: real abort
+// happens mid-module, as internal/sim shows).
+func ExpectedGroupCycles(g *tam.Group, yield YieldModel) float64 {
+	var expected, reach float64 = 0, 1
+	for i := range g.Members {
+		expected += reach * float64(g.Times[i])
+		reach *= yield(g.Members[i])
+	}
+	return expected
+}
+
+// ExpectedCycles returns the expected abort-on-fail SOC test length: the
+// maximum expected group length (groups run concurrently; the SOC test
+// ends when the slowest group ends or every site has failed — we report
+// the per-group expectation bound the paper's Eq. 4.4 also uses).
+func ExpectedCycles(arch *tam.Architecture, yield YieldModel) float64 {
+	var max float64
+	for _, g := range arch.Groups {
+		if e := ExpectedGroupCycles(g, yield); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Reorder sorts every group's members by the optimal ratio rule
+// t/(1−p) ascending, in place. Modules that cannot fail (p = 1) go
+// last, longest first (they can never trigger an abort). The group fill is
+// unchanged — only the order.
+func Reorder(arch *tam.Architecture, yield YieldModel) {
+	for _, g := range arch.Groups {
+		reorderGroup(g, yield)
+	}
+}
+
+func reorderGroup(g *tam.Group, yield YieldModel) {
+	type entry struct {
+		member int
+		time   int64
+	}
+	entries := make([]entry, len(g.Members))
+	for i := range g.Members {
+		entries[i] = entry{g.Members[i], g.Times[i]}
+	}
+	ratio := func(e entry) float64 {
+		p := yield(e.member)
+		if p >= 1 {
+			return inf
+		}
+		return float64(e.time) / (1 - p)
+	}
+	sort.SliceStable(entries, func(a, b int) bool {
+		ra, rb := ratio(entries[a]), ratio(entries[b])
+		if ra != rb {
+			return ra < rb
+		}
+		// Among never-failing modules, longest first is harmless;
+		// keep deterministic.
+		return entries[a].time > entries[b].time
+	})
+	for i, e := range entries {
+		g.Members[i] = e.member
+		g.Times[i] = e.time
+	}
+}
+
+// Gain returns the relative reduction in expected abort-on-fail cycles
+// that reordering achieves on a clone of the architecture (the input is
+// not modified): (before − after) / before.
+func Gain(arch *tam.Architecture, yield YieldModel) float64 {
+	before := ExpectedCycles(arch, yield)
+	if before == 0 {
+		return 0
+	}
+	c := arch.Clone()
+	Reorder(c, yield)
+	after := ExpectedCycles(c, yield)
+	return (before - after) / before
+}
+
+const inf = math.MaxFloat64

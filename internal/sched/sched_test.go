@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/soc"
+	"multisite/internal/tam"
+)
+
+func arch(t *testing.T) *tam.Architecture {
+	t.Helper()
+	a, err := tam.DesignStep1(benchdata.Shared("d695"),
+		ate.ATE{Channels: 256, Depth: 64 * 1024, ClockHz: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestExpectedGroupCyclesFormula(t *testing.T) {
+	g := &tam.Group{
+		Members: []int{0, 1, 2},
+		Times:   []int64{100, 200, 300},
+	}
+	yields := map[int]float64{0: 0.5, 1: 0.8, 2: 1.0}
+	y := func(mi int) float64 { return yields[mi] }
+	// E = 100 + 0.5·200 + 0.5·0.8·300 = 100 + 100 + 120 = 320.
+	if got := ExpectedGroupCycles(g, y); math.Abs(got-320) > 1e-9 {
+		t.Errorf("E = %g, want 320", got)
+	}
+}
+
+func TestPerfectYieldNoAbortBenefit(t *testing.T) {
+	a := arch(t)
+	e := ExpectedCycles(a, UniformYield(1))
+	if math.Abs(e-float64(a.TestCycles())) > 1e-6 {
+		t.Errorf("E at p=1 is %g, want full %d", e, a.TestCycles())
+	}
+	if g := Gain(a, UniformYield(1)); g != 0 {
+		t.Errorf("gain at p=1 = %g, want 0", g)
+	}
+}
+
+func TestReorderPutsFragileShortFirst(t *testing.T) {
+	g := &tam.Group{
+		Members: []int{10, 11},
+		Times:   []int64{1000, 10},
+	}
+	// Module 11 is short and fragile: ratio 10·0.5/0.5 = 10 beats
+	// 1000·0.99/0.01 = 99000.
+	yields := map[int]float64{10: 0.99, 11: 0.5}
+	y := func(mi int) float64 { return yields[mi] }
+	reorderGroup(g, y)
+	if g.Members[0] != 11 {
+		t.Errorf("order = %v, want fragile short module first", g.Members)
+	}
+	// E after: 10 + 0.5·1000 = 510; before: 1000 + 0.99·10 = 1009.9.
+	if e := ExpectedGroupCycles(g, y); math.Abs(e-510) > 1e-9 {
+		t.Errorf("E = %g, want 510", e)
+	}
+}
+
+func TestReorderPreservesFillAndMembership(t *testing.T) {
+	a := arch(t)
+	before := a.Clone()
+	Reorder(a, VolumeWeightedYield(a, 0.7))
+	if err := a.Validate(); err != nil {
+		t.Fatalf("reordered architecture invalid: %v", err)
+	}
+	if a.TestCycles() != before.TestCycles() {
+		t.Errorf("reorder changed test length %d → %d", before.TestCycles(), a.TestCycles())
+	}
+	for gi := range a.Groups {
+		if a.Groups[gi].Fill != before.Groups[gi].Fill {
+			t.Errorf("group %d fill changed", gi)
+		}
+	}
+}
+
+func TestRatioRuleOptimalOnSmallGroups(t *testing.T) {
+	// Exhaustive check: the ratio rule matches the best of all
+	// permutations for random 5-module groups.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(4)
+		g := &tam.Group{}
+		yields := map[int]float64{}
+		for i := 0; i < n; i++ {
+			g.Members = append(g.Members, i)
+			g.Times = append(g.Times, int64(1+rng.Intn(1000)))
+			yields[i] = 0.05 + 0.9*rng.Float64()
+		}
+		y := func(mi int) float64 { return yields[mi] }
+
+		bestPerm := math.MaxFloat64
+		for _, order := range permutations(n) {
+			members := make([]int, n)
+			times := make([]int64, n)
+			for k, idx := range order {
+				members[k] = g.Members[idx]
+				times[k] = g.Times[idx]
+			}
+			tmp := &tam.Group{Members: members, Times: times}
+			if e := ExpectedGroupCycles(tmp, y); e < bestPerm {
+				bestPerm = e
+			}
+		}
+		reorderGroup(g, y)
+		got := ExpectedGroupCycles(g, y)
+		if got > bestPerm*(1+1e-9) {
+			t.Fatalf("trial %d: ratio rule %g worse than optimal %g (times=%v yields=%v)",
+				trial, got, bestPerm, g.Times, yields)
+		}
+	}
+}
+
+// permutations returns all index permutations of 0..n-1.
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	for _, sub := range permutations(n - 1) {
+		for pos := 0; pos <= len(sub); pos++ {
+			p := make([]int, 0, n)
+			p = append(p, sub[:pos]...)
+			p = append(p, n-1)
+			p = append(p, sub[pos:]...)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestGainPositiveAtLowYield(t *testing.T) {
+	a := arch(t)
+	g := Gain(a, VolumeWeightedYield(a, 0.6))
+	if g < 0 {
+		t.Errorf("reordering hurt: gain %g", g)
+	}
+	// d695's groups mix big and small cores, so some gain must exist.
+	if g == 0 {
+		t.Log("no gain on d695 at 60% yield (groups already ordered)")
+	}
+}
+
+func TestVolumeWeightedYieldComposes(t *testing.T) {
+	a := arch(t)
+	y := VolumeWeightedYield(a, 0.7)
+	prod := 1.0
+	for _, mi := range a.SOC.TestableModules() {
+		p := y(mi)
+		if p <= 0 || p > 1 {
+			t.Fatalf("module %d: p = %g", mi, p)
+		}
+		prod *= p
+	}
+	// Per-module yields must multiply back to the chip yield.
+	if math.Abs(prod-0.7) > 1e-9 {
+		t.Errorf("Π p_m = %g, want 0.7", prod)
+	}
+}
+
+func TestPropertyReorderNeverIncreasesExpectation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		g := &tam.Group{}
+		yields := map[int]float64{}
+		for i := 0; i < n; i++ {
+			g.Members = append(g.Members, i)
+			g.Times = append(g.Times, int64(1+rng.Intn(500)))
+			yields[i] = rng.Float64()
+		}
+		y := func(mi int) float64 { return yields[mi] }
+		before := ExpectedGroupCycles(g, y)
+		reorderGroup(g, y)
+		return ExpectedGroupCycles(g, y) <= before*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReorderEmptySOC(t *testing.T) {
+	s := &soc.SOC{Name: "one", Modules: []soc.Module{
+		{ID: 1, Inputs: 4, Outputs: 4, Patterns: 5},
+	}}
+	a, err := tam.DesignStep1(s, ate.ATE{Channels: 8, Depth: 1000, ClockHz: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Reorder(a, UniformYield(0.5))
+	if err := a.Validate(); err != nil {
+		t.Errorf("single-module reorder broke architecture: %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multisite/internal/tam"
+)
+
+// SiteOutcome describes one site of a multi-site touchdown.
+type SiteOutcome struct {
+	// ContactOK is whether the site passed its contact test.
+	ContactOK bool
+	// Faults are the manufacturing faults injected into the site's die.
+	Faults []Fault
+}
+
+// TouchdownResult is the outcome of simulating one multi-site touchdown.
+type TouchdownResult struct {
+	// Sites echoes the per-site results: first-fail cycle or -1.
+	Sites []int64
+	// AbortCycle is the cycle at which an abort-on-fail tester could
+	// stop: the latest first-fail over the contacted sites if every
+	// contacted site fails, otherwise the full test length. -1 when no
+	// site was contacted (the manufacturing test is skipped entirely).
+	AbortCycle int64
+	// FullCycles is the architecture's complete test length.
+	FullCycles int64
+}
+
+// MultiSite simulates one touchdown of n sites in lockstep: all contacted
+// sites receive the same stimuli; the test can be aborted only once every
+// contacted site has started failing — the paper's Section 4 argument for
+// why abort-on-fail loses value under multi-site testing. Event-level
+// fidelity is used per site.
+func MultiSite(arch *tam.Architecture, sites []SiteOutcome) (*TouchdownResult, error) {
+	res := &TouchdownResult{FullCycles: arch.TestCycles(), AbortCycle: -1}
+	contacted := 0
+	allFailing := true
+	var latestFirstFail int64 = -1
+	for _, site := range sites {
+		if !site.ContactOK {
+			res.Sites = append(res.Sites, -1)
+			continue
+		}
+		contacted++
+		r, err := Run(arch, Event, site.Faults...)
+		if err != nil {
+			return nil, err
+		}
+		res.Sites = append(res.Sites, r.FirstFailCycle)
+		if r.FirstFailCycle < 0 {
+			allFailing = false
+		} else if r.FirstFailCycle > latestFirstFail {
+			latestFirstFail = r.FirstFailCycle
+		}
+	}
+	switch {
+	case contacted == 0:
+		res.AbortCycle = -1
+	case allFailing:
+		res.AbortCycle = latestFirstFail
+	default:
+		res.AbortCycle = res.FullCycles
+	}
+	return res, nil
+}
+
+// RandomSiteOutcomes draws per-site contact and fault outcomes for a
+// Monte-Carlo touchdown: each site passes contact with contactYield^pins
+// probability, and independently receives a random single fault with
+// probability 1−yield.
+func RandomSiteOutcomes(arch *tam.Architecture, rng *rand.Rand, n, pins int, contactYield, yield float64) []SiteOutcome {
+	testable := arch.SOC.TestableModules()
+	out := make([]SiteOutcome, n)
+	pcDev := 1.0
+	for i := 0; i < pins; i++ {
+		pcDev *= contactYield
+	}
+	for i := range out {
+		out[i].ContactOK = rng.Float64() < pcDev
+		if rng.Float64() >= yield {
+			mi := testable[rng.Intn(len(testable))]
+			m := &arch.SOC.Modules[mi]
+			f := Fault{
+				Module:       mi,
+				FirstPattern: rng.Intn(m.Patterns),
+			}
+			// Place the fault on a random chain position of the
+			// module's current wrapper design.
+			if gi, ok := groupOf(arch, mi); ok {
+				d := arch.Designer.Fit(mi, arch.Groups[gi].Width)
+				if d.Chains > 0 {
+					f.Chain = rng.Intn(d.Chains)
+					if so := d.ScanOut[f.Chain]; so > 0 {
+						f.Bit = rng.Intn(so)
+					}
+				}
+			}
+			out[i].Faults = []Fault{f}
+		}
+	}
+	return out
+}
+
+func groupOf(arch *tam.Architecture, mi int) (int, bool) {
+	for gi, g := range arch.Groups {
+		for _, m := range g.Members {
+			if m == mi {
+				return gi, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ExpectedAbortSavings estimates, by Monte-Carlo over touchdowns, the mean
+// fraction of the test length an abort-on-fail tester saves at n sites —
+// the simulated counterpart of the paper's Fig. 7(b), without the
+// "failing devices take zero time" idealization of Eq. 4.4.
+func ExpectedAbortSavings(arch *tam.Architecture, n, pins int, contactYield, yield float64, touchdowns int, seed int64) (float64, error) {
+	if touchdowns < 1 {
+		return 0, fmt.Errorf("sim: need at least one touchdown")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var saved float64
+	full := float64(arch.TestCycles())
+	for td := 0; td < touchdowns; td++ {
+		sites := RandomSiteOutcomes(arch, rng, n, pins, contactYield, yield)
+		r, err := MultiSite(arch, sites)
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case r.AbortCycle < 0:
+			saved += 1 // no contact: whole manufacturing test skipped
+		default:
+			saved += (full - float64(r.AbortCycle)) / full
+		}
+	}
+	return saved / float64(touchdowns), nil
+}

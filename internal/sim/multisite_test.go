@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMultiSiteAllPass(t *testing.T) {
+	arch := d695Arch(t, 64)
+	sites := []SiteOutcome{{ContactOK: true}, {ContactOK: true}}
+	r, err := MultiSite(arch, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AbortCycle != r.FullCycles {
+		t.Errorf("all-pass touchdown aborted at %d, want full %d", r.AbortCycle, r.FullCycles)
+	}
+	for i, s := range r.Sites {
+		if s != -1 {
+			t.Errorf("site %d reported failure at %d", i, s)
+		}
+	}
+}
+
+func TestMultiSiteNoContact(t *testing.T) {
+	arch := d695Arch(t, 64)
+	r, err := MultiSite(arch, []SiteOutcome{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AbortCycle != -1 {
+		t.Errorf("uncontacted touchdown has abort cycle %d, want -1 (skip)", r.AbortCycle)
+	}
+}
+
+func TestMultiSiteOnePassingBlocksAbort(t *testing.T) {
+	// The paper's key multi-site observation: a single passing site
+	// forces the full test.
+	arch := d695Arch(t, 64)
+	mi := arch.Groups[0].Members[0]
+	sites := []SiteOutcome{
+		{ContactOK: true, Faults: []Fault{{Module: mi, FirstPattern: 0}}},
+		{ContactOK: true}, // passes
+	}
+	r, err := MultiSite(arch, sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AbortCycle != r.FullCycles {
+		t.Errorf("abort at %d despite a passing site (full %d)", r.AbortCycle, r.FullCycles)
+	}
+	if r.Sites[0] < 0 || r.Sites[1] != -1 {
+		t.Errorf("site outcomes = %v", r.Sites)
+	}
+}
+
+func TestMultiSiteAllFailingAbortsAtLatest(t *testing.T) {
+	arch := d695Arch(t, 64)
+	mi := arch.Groups[0].Members[0]
+	early := Fault{Module: mi, FirstPattern: 0}
+	m := &arch.SOC.Modules[mi]
+	late := Fault{Module: mi, FirstPattern: m.Patterns - 1}
+	r, err := MultiSite(arch, []SiteOutcome{
+		{ContactOK: true, Faults: []Fault{early}},
+		{ContactOK: true, Faults: []Fault{late}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AbortCycle < 0 || r.AbortCycle == r.FullCycles {
+		t.Fatalf("expected early abort, got %d (full %d)", r.AbortCycle, r.FullCycles)
+	}
+	// Abort waits for the LATEST first-fail (the last site to start
+	// failing), which must match the late site's fail cycle.
+	if r.AbortCycle != r.Sites[1] {
+		t.Errorf("abort at %d, want the late site's %d", r.AbortCycle, r.Sites[1])
+	}
+	if r.Sites[0] >= r.Sites[1] {
+		t.Errorf("early site %d not before late site %d", r.Sites[0], r.Sites[1])
+	}
+}
+
+func TestRandomSiteOutcomesDeterministic(t *testing.T) {
+	arch := d695Arch(t, 64)
+	a := RandomSiteOutcomes(arch, rand.New(rand.NewSource(1)), 4, 32, 0.999, 0.8)
+	b := RandomSiteOutcomes(arch, rand.New(rand.NewSource(1)), 4, 32, 0.999, 0.8)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatal("wrong site count")
+	}
+	for i := range a {
+		if a[i].ContactOK != b[i].ContactOK || len(a[i].Faults) != len(b[i].Faults) {
+			t.Errorf("site %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestExpectedAbortSavingsDecreasesWithSites(t *testing.T) {
+	// The simulated counterpart of Fig. 7(b): the mean saved fraction
+	// shrinks as sites are added.
+	arch := d695Arch(t, 64)
+	const yield = 0.6
+	s1, err := ExpectedAbortSavings(arch, 1, 32, 1, yield, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := ExpectedAbortSavings(arch, 8, 32, 1, yield, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 <= s8 {
+		t.Errorf("saving at 1 site (%.3f) not above 8 sites (%.3f)", s1, s8)
+	}
+	if s8 > 0.02 {
+		t.Errorf("at 8 sites the saving should be negligible, got %.3f", s8)
+	}
+	if s1 < 0.1 {
+		t.Errorf("at 1 site and 60%% yield the saving should be substantial, got %.3f", s1)
+	}
+}
+
+func TestExpectedAbortSavingsValidation(t *testing.T) {
+	arch := d695Arch(t, 64)
+	if _, err := ExpectedAbortSavings(arch, 1, 32, 1, 1, 0, 1); err == nil {
+		t.Error("zero touchdowns accepted")
+	}
+}
+
+func TestExpectedAbortSavingsPerfectYield(t *testing.T) {
+	arch := d695Arch(t, 64)
+	s, err := ExpectedAbortSavings(arch, 4, 32, 1, 1, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Errorf("perfect yield saving = %g, want 0", s)
+	}
+}

@@ -1,0 +1,304 @@
+// Package sim is a cycle-accurate simulator of scan test application
+// through the designed test infrastructure. It exists to cross-validate
+// the analytic test-time model the optimizer relies on: the simulator
+// actually moves stimulus and response bits through the wrapper chains of
+// every module, cycle by cycle, following the pipelined
+// shift-in/capture/shift-out protocol, and reports the cycle at which the
+// test completes (and, with an injected fault, the cycle at which the
+// first failing response bit reaches the ATE — the quantity behind the
+// paper's abort-on-fail analysis).
+//
+// Two fidelity levels are provided. BitAccurate shifts real bits through
+// per-chain registers and compares responses against an independently
+// computed expectation, so an off-by-one in the protocol or in the wrapper
+// design surfaces as a miscompare. Event mode walks the same pipeline
+// schedule without materializing bits, which is fast enough for the
+// 275-module PNX8550-class chips.
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"multisite/internal/tam"
+	"multisite/internal/wrapper"
+)
+
+// Mode selects the simulation fidelity.
+type Mode int
+
+const (
+	// Event simulates the pipeline schedule without materializing bits.
+	Event Mode = iota
+	// BitAccurate shifts real bits through the wrapper chains.
+	BitAccurate
+)
+
+// Fault describes an injected manufacturing fault: from FirstPattern on,
+// one response bit of the module is inverted.
+type Fault struct {
+	// Module is the index into the SOC's Modules slice.
+	Module int
+	// Chain is the wrapper chain carrying the faulty cell.
+	Chain int
+	// Bit is the faulty position within the chain's scan-out, counted
+	// from the cell nearest the output.
+	Bit int
+	// FirstPattern is the first pattern (0-based) whose response is
+	// corrupted.
+	FirstPattern int
+}
+
+// ModuleResult is the simulation outcome for one module.
+type ModuleResult struct {
+	// Module is the module index.
+	Module int
+	// Cycles is the simulated test length.
+	Cycles int64
+	// Mismatches counts corrupted response bits observed at the ATE.
+	Mismatches int
+	// FirstFailCycle is the module-relative cycle of the first
+	// mismatch, or -1 if the module passed.
+	FirstFailCycle int64
+}
+
+// GroupResult aggregates a channel group.
+type GroupResult struct {
+	// Group is the group index within the architecture.
+	Group int
+	// Cycles is the simulated group fill: modules test sequentially.
+	Cycles int64
+	// Modules lists the per-module outcomes in test order.
+	Modules []ModuleResult
+}
+
+// Result is the outcome of simulating a full architecture.
+type Result struct {
+	// Groups lists per-group outcomes; groups run concurrently.
+	Groups []GroupResult
+	// Cycles is the SOC test length: the maximum group fill.
+	Cycles int64
+	// FirstFailCycle is the SOC-relative cycle of the earliest observed
+	// mismatch across groups, or -1 if the chip passed.
+	FirstFailCycle int64
+}
+
+// Run simulates test application for the architecture, optionally with
+// injected faults, and returns the observed cycle counts.
+func Run(arch *tam.Architecture, mode Mode, faults ...Fault) (*Result, error) {
+	byModule := make(map[int][]Fault)
+	for _, f := range faults {
+		byModule[f.Module] = append(byModule[f.Module], f)
+	}
+	res := &Result{FirstFailCycle: -1}
+	for gi, g := range arch.Groups {
+		gr := GroupResult{Group: gi}
+		for _, mi := range g.Members {
+			d := arch.Designer.Fit(mi, g.Width)
+			var mr ModuleResult
+			var err error
+			switch mode {
+			case BitAccurate:
+				mr, err = simulateBits(arch, mi, d, byModule[mi])
+			default:
+				mr, err = simulateEvents(arch, mi, d, byModule[mi])
+			}
+			if err != nil {
+				return nil, fmt.Errorf("group %d module %d: %w", gi, mi, err)
+			}
+			if mr.FirstFailCycle >= 0 {
+				abs := gr.Cycles + mr.FirstFailCycle
+				if res.FirstFailCycle < 0 || abs < res.FirstFailCycle {
+					res.FirstFailCycle = abs
+				}
+			}
+			mr.Module = mi
+			gr.Cycles += mr.Cycles
+			gr.Modules = append(gr.Modules, mr)
+		}
+		if gr.Cycles > res.Cycles {
+			res.Cycles = gr.Cycles
+		}
+		res.Groups = append(res.Groups, gr)
+	}
+	return res, nil
+}
+
+// simulateEvents walks the pipelined scan protocol per pattern:
+// shift-in of the first pattern, then per-pattern capture plus overlapped
+// shift (max of scan-in and scan-out), then the final shift-out tail.
+func simulateEvents(arch *tam.Architecture, mi int, d wrapper.Design, faults []Fault) (ModuleResult, error) {
+	mr := ModuleResult{FirstFailCycle: -1}
+	p := arch.SOC.Modules[mi].Patterns
+	if p == 0 {
+		return mr, nil
+	}
+	maxIn, maxOut := int64(d.MaxIn), int64(d.MaxOut)
+	overlap := maxIn
+	if maxOut > overlap {
+		overlap = maxOut
+	}
+	var cycles int64
+	cycles += maxIn // load pattern 1
+	for i := 0; i < p; i++ {
+		cycles++ // capture pattern i
+		if i < p-1 {
+			cycles += overlap // shift in i+1 / out i
+		} else {
+			cycles += maxOut // final response drain
+		}
+		if mr.FirstFailCycle < 0 {
+			if c, bad := eventFailCycle(d, faults, i, cycles, maxOut, overlap, i == p-1); bad {
+				mr.FirstFailCycle = c
+				mr.Mismatches++ // at least one; event mode does not count bits
+			}
+		}
+	}
+	mr.Cycles = cycles
+	return mr, nil
+}
+
+// eventFailCycle locates, without bit simulation, the cycle at which a
+// fault in pattern i becomes visible: the response of pattern i emerges
+// during the shift window that follows its capture; the faulty bit at
+// position b of a chain appears after b+1 shift cycles.
+func eventFailCycle(d wrapper.Design, faults []Fault, pattern int, cyclesAfterWindow, maxOut, overlap int64, last bool) (int64, bool) {
+	window := overlap
+	if last {
+		window = maxOut
+	}
+	best := int64(-1)
+	for _, f := range faults {
+		if pattern < f.FirstPattern || f.Chain >= d.Chains {
+			continue
+		}
+		if f.Bit >= d.ScanOut[f.Chain] {
+			continue
+		}
+		// The shift window ended at cyclesAfterWindow; the bit
+		// emerged f.Bit+1 cycles into the window.
+		c := cyclesAfterWindow - window + int64(f.Bit) + 1
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	return best, best >= 0
+}
+
+// simulateBits shifts real bits. Each wrapper chain's response path is a
+// shift register of its scan-out length; captured responses are a
+// pseudo-random function of the (module, pattern, chain) identity standing
+// in for the core's logic, and the ATE predicts each emerging bit
+// independently, so any slip in the shift windows, capture ordering, or
+// bit alignment produces miscompares.
+func simulateBits(arch *tam.Architecture, mi int, d wrapper.Design, faults []Fault) (ModuleResult, error) {
+	mr := ModuleResult{FirstFailCycle: -1}
+	m := &arch.SOC.Modules[mi]
+	p := m.Patterns
+	if p == 0 {
+		return mr, nil
+	}
+	if err := d.Validate(m); err != nil {
+		return mr, fmt.Errorf("invalid wrapper design: %w", err)
+	}
+	c := d.Chains
+	maxIn, maxOut := d.MaxIn, d.MaxOut
+	overlap := maxIn
+	if maxOut > overlap {
+		overlap = maxOut
+	}
+
+	// DUT state: per-chain registers holding the response bits being
+	// shifted out. The DUT applies any injected fault at capture; the
+	// ATE-side expectation (expect) is derived independently at capture
+	// time without faults, so faults surface as miscompares at the
+	// exact cycle their bit reaches the output.
+	regs := make([][]bool, c)
+	expect := make([][]bool, c)
+	for i := range regs {
+		regs[i] = make([]bool, d.ScanOut[i])
+		expect[i] = make([]bool, d.ScanOut[i])
+	}
+	stim := newStimStream(arch.SOC.Name, mi)
+
+	var cycle int64
+	shiftWindow := func(window int, outPattern int) {
+		// outPattern < 0: nothing being shifted out (initial load).
+		for w := 0; w < window; w++ {
+			cycle++
+			for ch := 0; ch < c; ch++ {
+				reg := regs[ch]
+				if len(reg) == 0 {
+					continue
+				}
+				outBit := reg[0]
+				copy(reg, reg[1:])
+				reg[len(reg)-1] = false
+				if outPattern >= 0 && w < d.ScanOut[ch] {
+					if outBit != expect[ch][w] {
+						mr.Mismatches++
+						if mr.FirstFailCycle < 0 {
+							mr.FirstFailCycle = cycle
+						}
+					}
+				}
+			}
+		}
+	}
+	capture := func(pattern int) {
+		cycle++
+		for ch := 0; ch < c; ch++ {
+			resp := responseBits(arch.SOC.Name, mi, pattern, ch, d.ScanOut[ch], stim)
+			copy(expect[ch], resp)
+			for _, f := range faults {
+				if f.Chain == ch && pattern >= f.FirstPattern && f.Bit < len(resp) {
+					resp[f.Bit] = !resp[f.Bit]
+				}
+			}
+			regs[ch] = resp
+		}
+	}
+
+	shiftWindow(maxIn, -1) // load pattern 0
+	for i := 0; i < p; i++ {
+		capture(i)
+		if i < p-1 {
+			shiftWindow(overlap, i)
+		} else {
+			shiftWindow(maxOut, i)
+		}
+	}
+	mr.Cycles = cycle
+	return mr, nil
+}
+
+// stimStream is a deterministic stimulus source keyed by SOC and module.
+type stimStream struct {
+	socName string
+	module  int
+}
+
+func newStimStream(socName string, mi int) *stimStream {
+	return &stimStream{socName: socName, module: mi}
+}
+
+// seedFor derives a stable 64-bit seed for a (pattern, chain) pair.
+func (s *stimStream) seedFor(pattern, chain int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d/%d", s.socName, s.module, pattern, chain)
+	return int64(h.Sum64())
+}
+
+// responseBits computes the golden response of a chain for a pattern: a
+// pseudo-random function of the (module, pattern, chain) identity standing
+// in for the core's logic function of the applied stimulus. Index 0 is the
+// bit nearest the scan output.
+func responseBits(socName string, mi, pattern, chain, n int, s *stimStream) []bool {
+	rng := rand.New(rand.NewSource(s.seedFor(pattern, chain) ^ 0x5bf03635))
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Int63()&1 == 1
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/tam"
+)
+
+func d695Arch(t *testing.T, depthK int64) *tam.Architecture {
+	t.Helper()
+	a, err := tam.DesignStep1(benchdata.Shared("d695"),
+		ate.ATE{Channels: 256, Depth: depthK * 1024, ClockHz: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestEventSimMatchesAnalytic(t *testing.T) {
+	for _, depthK := range []int64{48, 64, 96, 128} {
+		arch := d695Arch(t, depthK)
+		res, err := Run(arch, Event)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != arch.TestCycles() {
+			t.Errorf("D=%dK: simulated %d cycles, analytic %d",
+				depthK, res.Cycles, arch.TestCycles())
+		}
+		for gi, gr := range res.Groups {
+			if gr.Cycles != arch.Groups[gi].Fill {
+				t.Errorf("D=%dK group %d: simulated %d, fill %d",
+					depthK, gi, gr.Cycles, arch.Groups[gi].Fill)
+			}
+		}
+		if res.FirstFailCycle != -1 {
+			t.Errorf("fault-free run reported failure at %d", res.FirstFailCycle)
+		}
+	}
+}
+
+func TestBitSimMatchesAnalytic(t *testing.T) {
+	arch := d695Arch(t, 64)
+	res, err := Run(arch, BitAccurate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != arch.TestCycles() {
+		t.Errorf("bit-accurate: %d cycles, analytic %d", res.Cycles, arch.TestCycles())
+	}
+	for _, gr := range res.Groups {
+		for _, mr := range gr.Modules {
+			if mr.Mismatches != 0 {
+				t.Errorf("module %d: %d spurious mismatches", mr.Module, mr.Mismatches)
+			}
+		}
+	}
+}
+
+func TestBitSimEqualsEventSimPerModule(t *testing.T) {
+	arch := d695Arch(t, 64)
+	ev, err := Run(arch, Event)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit, err := Run(arch, BitAccurate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := range ev.Groups {
+		for mi := range ev.Groups[gi].Modules {
+			e, b := ev.Groups[gi].Modules[mi], bit.Groups[gi].Modules[mi]
+			if e.Cycles != b.Cycles {
+				t.Errorf("group %d module %d: event %d vs bit %d cycles",
+					gi, e.Module, e.Cycles, b.Cycles)
+			}
+		}
+	}
+}
+
+func findModuleGroup(arch *tam.Architecture, mi int) (int, bool) {
+	for gi, g := range arch.Groups {
+		for _, m := range g.Members {
+			if m == mi {
+				return gi, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func TestFaultDetectionBothModes(t *testing.T) {
+	arch := d695Arch(t, 64)
+	// Fault the first member of the first group, pattern 0, bit 0.
+	mi := arch.Groups[0].Members[0]
+	f := Fault{Module: mi, Chain: 0, Bit: 0, FirstPattern: 0}
+
+	ev, err := Run(arch, Event, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit, err := Run(arch, BitAccurate, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.FirstFailCycle < 0 || bit.FirstFailCycle < 0 {
+		t.Fatalf("fault not detected: event %d, bit %d", ev.FirstFailCycle, bit.FirstFailCycle)
+	}
+	if ev.FirstFailCycle != bit.FirstFailCycle {
+		t.Errorf("first-fail cycle: event %d vs bit %d", ev.FirstFailCycle, bit.FirstFailCycle)
+	}
+	// A pattern-0 bit-0 fault must surface early: right after the first
+	// capture, i.e. within load + capture + 1 cycles of the module start.
+	d := arch.Designer.Fit(mi, arch.Groups[0].Width)
+	limit := int64(d.MaxIn) + 2
+	if bit.FirstFailCycle > limit {
+		t.Errorf("first fail at %d, expected within %d", bit.FirstFailCycle, limit)
+	}
+}
+
+func TestLateFaultDetectedLate(t *testing.T) {
+	arch := d695Arch(t, 64)
+	mi := arch.Groups[0].Members[0]
+	m := &arch.SOC.Modules[mi]
+	early, err := Run(arch, BitAccurate, Fault{Module: mi, FirstPattern: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := Run(arch, BitAccurate, Fault{Module: mi, FirstPattern: m.Patterns - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late.FirstFailCycle <= early.FirstFailCycle {
+		t.Errorf("late fault at %d not after early fault at %d",
+			late.FirstFailCycle, early.FirstFailCycle)
+	}
+}
+
+func TestFaultInSecondGroupMember(t *testing.T) {
+	arch := d695Arch(t, 64)
+	var gi int
+	for g := range arch.Groups {
+		if len(arch.Groups[g].Members) >= 2 {
+			gi = g
+			break
+		}
+	}
+	if len(arch.Groups[gi].Members) < 2 {
+		t.Skip("no group with two members")
+	}
+	mi := arch.Groups[gi].Members[1]
+	res, err := Run(arch, Event, Fault{Module: mi, FirstPattern: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fault is observed after the first member finishes.
+	if res.FirstFailCycle < arch.Groups[gi].Times[0] {
+		t.Errorf("fail cycle %d before preceding module completes (%d)",
+			res.FirstFailCycle, arch.Groups[gi].Times[0])
+	}
+	if _, ok := findModuleGroup(arch, mi); !ok {
+		t.Fatal("module lost")
+	}
+}
+
+func TestFaultOutOfRangeIgnored(t *testing.T) {
+	arch := d695Arch(t, 64)
+	mi := arch.Groups[0].Members[0]
+	// Chain index beyond the design: no detection, no crash.
+	res, err := Run(arch, BitAccurate, Fault{Module: mi, Chain: 9999, FirstPattern: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstFailCycle != -1 {
+		t.Errorf("out-of-range fault detected at %d", res.FirstFailCycle)
+	}
+}
+
+func TestMismatchCountMatchesFaultSpan(t *testing.T) {
+	arch := d695Arch(t, 64)
+	mi := arch.Groups[0].Members[0]
+	m := &arch.SOC.Modules[mi]
+	res, err := Run(arch, BitAccurate, Fault{Module: mi, Chain: 0, Bit: 0, FirstPattern: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr *ModuleResult
+	for gi := range res.Groups {
+		for i := range res.Groups[gi].Modules {
+			if res.Groups[gi].Modules[i].Module == mi {
+				mr = &res.Groups[gi].Modules[i]
+			}
+		}
+	}
+	if mr == nil {
+		t.Fatal("module result missing")
+	}
+	// One inverted bit per pattern: exactly Patterns mismatches.
+	if mr.Mismatches != m.Patterns {
+		t.Errorf("mismatches = %d, want %d", mr.Mismatches, m.Patterns)
+	}
+}
+
+func TestSimOnGeneratedSOC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := benchdata.Shared("p22810")
+	arch, err := tam.DesignStep1(s, ate.ATE{Channels: 512, Depth: 512 * 1024, ClockHz: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(arch, Event)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != arch.TestCycles() {
+		t.Errorf("p22810: simulated %d, analytic %d", res.Cycles, arch.TestCycles())
+	}
+}

@@ -1,0 +1,46 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the .soc parser with arbitrary input: it must never
+// panic, and anything it accepts must be a valid SOC that round-trips.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleText)
+	f.Add("SocName x\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 0\n")
+	f.Add("SocName x\nTotalModules 1\nModule 1 Name a Level 2 Inputs 3 Outputs 4 Bidirs 5 TotalPatterns 6 Memory true ScanChains 2 : 7 8\n")
+	f.Add("# only comments\n")
+	f.Add("Module")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted invalid SOC: %v\ninput: %q", err, text)
+		}
+		back, err := ParseString(WriteString(s))
+		if err != nil {
+			t.Fatalf("write output does not re-parse: %v", err)
+		}
+		if back.Name != s.Name || len(back.Modules) != len(s.Modules) {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzParseModuleLine narrows the fuzz to module lines, the grammar's
+// most intricate part.
+func FuzzParseModuleLine(f *testing.F) {
+	f.Add("1 Inputs 3 Outputs 4 TotalPatterns 5 ScanChains 1 : 6")
+	f.Add("2 ScanChains 0")
+	f.Fuzz(func(t *testing.T, line string) {
+		if strings.ContainsAny(line, "\n\r") {
+			return
+		}
+		_, err := ParseString("SocName f\nModule " + line + "\n")
+		_ = err // must simply not panic
+	})
+}

@@ -1,0 +1,193 @@
+package soc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The textual SOC format accepted by Parse follows the ITC'02 SOC Test
+// Benchmarks conventions:
+//
+//	# comment lines start with '#'
+//	SocName d695
+//	TotalModules 11
+//	Module 1 Name c6288 Level 1 Inputs 32 Outputs 32 Bidirs 0 \
+//	    TotalPatterns 12 ScanChains 0
+//	Module 3 Name s838 Level 1 Inputs 34 Outputs 1 Bidirs 0 \
+//	    TotalPatterns 75 ScanChains 1 : 32
+//
+// Key/value pairs may appear in any order after the module ID. A module with
+// S scan chains lists the S chain lengths after a ':' separator. The Name
+// and Memory keys are extensions of this package; files without them parse
+// identically. TotalModules, when present, is cross-checked against the
+// number of Module lines.
+
+// Parse reads an SOC description in the ITC'02-style textual format.
+func Parse(r io.Reader) (*SOC, error) {
+	s := &SOC{}
+	declared := -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "SocName":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: SocName needs a value", lineno)
+			}
+			s.Name = fields[1]
+		case "TotalModules":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: TotalModules needs a value", lineno)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad TotalModules %q: %v", lineno, fields[1], err)
+			}
+			declared = n
+		case "Module":
+			m, err := parseModule(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineno, err)
+			}
+			s.Modules = append(s.Modules, m)
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if declared >= 0 && declared != len(s.Modules) {
+		return nil, fmt.Errorf("soc %s: TotalModules declares %d but %d Module lines found",
+			s.Name, declared, len(s.Modules))
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseModule(fields []string) (Module, error) {
+	var m Module
+	if len(fields) == 0 {
+		return m, fmt.Errorf("Module line without ID")
+	}
+	id, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return m, fmt.Errorf("bad module ID %q: %v", fields[0], err)
+	}
+	m.ID = id
+	i := 1
+	scanChains := 0
+	sawChains := false
+	for i < len(fields) {
+		key := fields[i]
+		if key == ":" {
+			i++
+			break
+		}
+		if i+1 >= len(fields) {
+			return m, fmt.Errorf("module %d: key %q without value", id, key)
+		}
+		val := fields[i+1]
+		i += 2
+		switch key {
+		case "Name":
+			m.Name = val
+			continue
+		case "Memory":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return m, fmt.Errorf("module %d: bad Memory %q: %v", id, val, err)
+			}
+			m.IsMemory = b
+			continue
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return m, fmt.Errorf("module %d: bad %s value %q: %v", id, key, val, err)
+		}
+		switch key {
+		case "Level":
+			m.Level = n
+		case "Inputs":
+			m.Inputs = n
+		case "Outputs":
+			m.Outputs = n
+		case "Bidirs":
+			m.Bidirs = n
+		case "TotalPatterns", "Patterns":
+			m.Patterns = n
+		case "ScanChains":
+			scanChains = n
+			sawChains = true
+		default:
+			return m, fmt.Errorf("module %d: unknown key %q", id, key)
+		}
+	}
+	// Remaining fields are chain lengths.
+	for ; i < len(fields); i++ {
+		l, err := strconv.Atoi(fields[i])
+		if err != nil {
+			return m, fmt.Errorf("module %d: bad scan chain length %q: %v", id, fields[i], err)
+		}
+		m.ScanChains = append(m.ScanChains, ScanChain{Length: l})
+	}
+	if sawChains && scanChains != len(m.ScanChains) {
+		return m, fmt.Errorf("module %d: ScanChains declares %d but %d lengths listed",
+			id, scanChains, len(m.ScanChains))
+	}
+	return m, nil
+}
+
+// ParseString is a convenience wrapper around Parse for in-memory text.
+func ParseString(text string) (*SOC, error) {
+	return Parse(strings.NewReader(text))
+}
+
+// Write emits the SOC in the textual format accepted by Parse. The output
+// round-trips: Parse(Write(s)) reproduces s.
+func Write(w io.Writer, s *SOC) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "SocName %s\n", s.Name)
+	fmt.Fprintf(bw, "TotalModules %d\n", len(s.Modules))
+	for i := range s.Modules {
+		m := &s.Modules[i]
+		fmt.Fprintf(bw, "Module %d", m.ID)
+		if m.Name != "" {
+			fmt.Fprintf(bw, " Name %s", m.Name)
+		}
+		fmt.Fprintf(bw, " Level %d Inputs %d Outputs %d Bidirs %d TotalPatterns %d",
+			m.Level, m.Inputs, m.Outputs, m.Bidirs, m.Patterns)
+		if m.IsMemory {
+			fmt.Fprintf(bw, " Memory true")
+		}
+		fmt.Fprintf(bw, " ScanChains %d", len(m.ScanChains))
+		if len(m.ScanChains) > 0 {
+			fmt.Fprintf(bw, " :")
+			for _, c := range m.ScanChains {
+				fmt.Fprintf(bw, " %d", c.Length)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteString renders the SOC description as a string.
+func WriteString(s *SOC) string {
+	var b strings.Builder
+	// strings.Builder writes never fail.
+	_ = Write(&b, s)
+	return b.String()
+}

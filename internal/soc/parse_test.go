@@ -1,0 +1,136 @@
+package soc
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleText = `
+# ITC'02-style description
+SocName demo
+TotalModules 3
+Module 0 Name demo-top Level 0 Inputs 0 Outputs 0 Bidirs 0 TotalPatterns 0 ScanChains 0
+Module 1 Name c6288 Level 1 Inputs 32 Outputs 32 Bidirs 0 TotalPatterns 12 ScanChains 0
+Module 2 Name s838 Level 1 Inputs 34 Outputs 1 Bidirs 0 TotalPatterns 75 ScanChains 2 : 16 16
+`
+
+func TestParseSample(t *testing.T) {
+	s, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Name != "demo" {
+		t.Errorf("Name = %q", s.Name)
+	}
+	if len(s.Modules) != 3 {
+		t.Fatalf("modules = %d, want 3", len(s.Modules))
+	}
+	m := s.Module(2)
+	if m == nil {
+		t.Fatal("module 2 missing")
+	}
+	if m.Name != "s838" || m.Inputs != 34 || m.Outputs != 1 || m.Patterns != 75 {
+		t.Errorf("module 2 = %+v", m)
+	}
+	if len(m.ScanChains) != 2 || m.ScanChains[0].Length != 16 {
+		t.Errorf("scan chains = %v", m.ScanChains)
+	}
+}
+
+func TestParseMemoryExtension(t *testing.T) {
+	s, err := ParseString(`SocName m
+Module 1 Inputs 24 Outputs 16 TotalPatterns 500 Memory true ScanChains 0
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !s.Modules[0].IsMemory {
+		t.Error("Memory flag not parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"unknown directive", "SocName x\nFoo 3\n"},
+		{"module without id", "SocName x\nModule\n"},
+		{"bad id", "SocName x\nModule abc Inputs 1 TotalPatterns 1\n"},
+		{"key without value", "SocName x\nModule 1 Inputs\n"},
+		{"unknown key", "SocName x\nModule 1 Wibble 3\n"},
+		{"bad number", "SocName x\nModule 1 Inputs zz\n"},
+		{"chain count mismatch", "SocName x\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 2 : 5\n"},
+		{"bad chain length", "SocName x\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 1 : xx\n"},
+		{"total mismatch", "SocName x\nTotalModules 2\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 0\n"},
+		{"no name", "Module 1 Inputs 1 TotalPatterns 1 ScanChains 0\n"},
+		{"duplicate id", "SocName x\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 0\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 0\n"},
+		{"socname empty", "SocName\n"},
+		{"totalmodules empty", "SocName x\nTotalModules\n"},
+		{"totalmodules bad", "SocName x\nTotalModules zz\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseString(c.text); err == nil {
+				t.Errorf("Parse accepted %q", c.text)
+			}
+		})
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	s, err := ParseString("# hi\n\nSocName x\n  \nModule 1 Inputs 1 TotalPatterns 1 ScanChains 0\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Modules) != 1 {
+		t.Errorf("modules = %d", len(s.Modules))
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	s, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := WriteString(s)
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\ntext:\n%s", err, text)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Errorf("round trip mismatch:\nbefore %+v\nafter  %+v", s, back)
+	}
+}
+
+func TestWriteContainsDeclarations(t *testing.T) {
+	s := &SOC{Name: "w", Modules: []Module{
+		{ID: 1, Name: "core", Inputs: 3, Outputs: 2, Patterns: 7, IsMemory: true,
+			ScanChains: ChainsOfLengths(4, 5)},
+	}}
+	text := WriteString(s)
+	for _, want := range []string{"SocName w", "TotalModules 1", "Name core",
+		"Memory true", "ScanChains 2 : 4 5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		s := randomSOC(rand.New(rand.NewSource(seed)))
+		back, err := ParseString(WriteString(s))
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return reflect.DeepEqual(s, back)
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

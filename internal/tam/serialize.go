@@ -1,0 +1,157 @@
+package tam
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"multisite/internal/soc"
+	"multisite/internal/wrapper"
+)
+
+// The textual architecture format lets a designed architecture be saved
+// next to the SOC description and re-loaded by downstream tools (DfT
+// insertion, pattern retargeting) without re-running optimization:
+//
+//	Architecture d695
+//	Depth 65536
+//	Group Width 7 Modules 6 5
+//	Group Width 3 Modules 10 7
+//
+// Modules are referenced by their module ID (not slice index); per-module
+// times are recomputed from the wrapper designer on load, so a stale file
+// whose fills no longer fit the depth is rejected.
+
+// Write emits the architecture in the textual format.
+func (a *Architecture) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Architecture %s\n", a.SOC.Name)
+	fmt.Fprintf(bw, "Depth %d\n", a.Depth)
+	for _, g := range a.Groups {
+		fmt.Fprintf(bw, "Group Width %d Modules", g.Width)
+		for _, mi := range g.Members {
+			fmt.Fprintf(bw, " %d", a.SOC.Modules[mi].ID)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteString renders the architecture description as a string.
+func (a *Architecture) WriteString() string {
+	var b strings.Builder
+	_ = a.Write(&b)
+	return b.String()
+}
+
+// ParseArchitecture reads an architecture description and rebinds it to
+// the given SOC, recomputing all wrapper designs and fills. It fails if
+// the SOC name mismatches, a module ID is unknown or duplicated, a
+// testable module is missing, or a group no longer fits the depth.
+func ParseArchitecture(r io.Reader, s *soc.SOC) (*Architecture, error) {
+	a := &Architecture{SOC: s, Designer: wrapper.For(s)}
+	idx := make(map[int]int, len(s.Modules)) // module ID -> slice index
+	for i := range s.Modules {
+		idx[s.Modules[i].ID] = i
+	}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	sawName := false
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "Architecture":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: Architecture needs a name", lineno)
+			}
+			if fields[1] != s.Name {
+				return nil, fmt.Errorf("line %d: architecture is for %q, SOC is %q",
+					lineno, fields[1], s.Name)
+			}
+			sawName = true
+		case "Depth":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("line %d: Depth needs a value", lineno)
+			}
+			d, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil || d < 1 {
+				return nil, fmt.Errorf("line %d: bad depth %q", lineno, fields[1])
+			}
+			a.Depth = d
+		case "Group":
+			g, err := parseGroup(fields[1:], idx)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineno, err)
+			}
+			a.Groups = append(a.Groups, g)
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawName {
+		return nil, fmt.Errorf("architecture file has no Architecture line")
+	}
+	if a.Depth == 0 {
+		return nil, fmt.Errorf("architecture file has no Depth line")
+	}
+	for _, g := range a.Groups {
+		g.Times = make([]int64, len(g.Members))
+		a.refit(g)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func parseGroup(fields []string, idx map[int]int) (*Group, error) {
+	g := &Group{}
+	i := 0
+	if i >= len(fields) || fields[i] != "Width" {
+		return nil, fmt.Errorf("Group line must start with Width")
+	}
+	i++
+	if i >= len(fields) {
+		return nil, fmt.Errorf("Width needs a value")
+	}
+	w, err := strconv.Atoi(fields[i])
+	if err != nil || w < 1 {
+		return nil, fmt.Errorf("bad width %q", fields[i])
+	}
+	g.Width = w
+	i++
+	if i >= len(fields) || fields[i] != "Modules" {
+		return nil, fmt.Errorf("Group line needs a Modules list")
+	}
+	i++
+	if i >= len(fields) {
+		return nil, fmt.Errorf("empty Modules list")
+	}
+	for ; i < len(fields); i++ {
+		id, err := strconv.Atoi(fields[i])
+		if err != nil {
+			return nil, fmt.Errorf("bad module ID %q", fields[i])
+		}
+		mi, ok := idx[id]
+		if !ok {
+			return nil, fmt.Errorf("unknown module ID %d", id)
+		}
+		g.Members = append(g.Members, mi)
+	}
+	return g, nil
+}
+
+// ParseArchitectureString is a convenience wrapper for in-memory text.
+func ParseArchitectureString(text string, s *soc.SOC) (*Architecture, error) {
+	return ParseArchitecture(strings.NewReader(text), s)
+}

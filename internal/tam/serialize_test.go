@@ -1,0 +1,113 @@
+package tam
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArchitectureRoundTrip(t *testing.T) {
+	s := d695()
+	a, err := DesignStep1(s, target(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := a.WriteString()
+	back, err := ParseArchitectureString(text, s)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if back.Channels() != a.Channels() || back.TestCycles() != a.TestCycles() {
+		t.Errorf("round trip changed k %d→%d or cycles %d→%d",
+			a.Channels(), back.Channels(), a.TestCycles(), back.TestCycles())
+	}
+	if err := back.Validate(); err != nil {
+		t.Errorf("round-tripped architecture invalid: %v", err)
+	}
+	if len(back.Groups) != len(a.Groups) {
+		t.Errorf("groups %d → %d", len(a.Groups), len(back.Groups))
+	}
+}
+
+func TestWriteContainsIDs(t *testing.T) {
+	s := d695()
+	a, err := DesignStep1(s, target(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := a.WriteString()
+	for _, want := range []string{"Architecture d695", "Depth 65536", "Group Width"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestParseArchitectureErrors(t *testing.T) {
+	s := d695()
+	cases := []struct{ name, text string }{
+		{"wrong soc", "Architecture other\nDepth 65536\nGroup Width 1 Modules 3\n"},
+		{"no name", "Depth 65536\nGroup Width 1 Modules 3\n"},
+		{"no depth", "Architecture d695\nGroup Width 1 Modules 3\n"},
+		{"bad depth", "Architecture d695\nDepth -3\n"},
+		{"unknown directive", "Architecture d695\nDepth 65536\nBogus\n"},
+		{"bad width", "Architecture d695\nDepth 65536\nGroup Width x Modules 3\n"},
+		{"no modules", "Architecture d695\nDepth 65536\nGroup Width 1 Modules\n"},
+		{"unknown module", "Architecture d695\nDepth 65536\nGroup Width 1 Modules 99\n"},
+		{"bad module id", "Architecture d695\nDepth 65536\nGroup Width 1 Modules zz\n"},
+		{"missing Width", "Architecture d695\nDepth 65536\nGroup Modules 3\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseArchitectureString(c.text, s); err == nil {
+				t.Errorf("accepted %q", c.text)
+			}
+		})
+	}
+}
+
+func TestParseArchitectureRejectsOverfullGroup(t *testing.T) {
+	s := d695()
+	// s38584 (ID 5) alone on one wire massively exceeds 65536 cycles.
+	text := "Architecture d695\nDepth 65536\n" +
+		"Group Width 1 Modules 5\n" +
+		"Group Width 20 Modules 1 2 3 4 6 7 8 9 10\n"
+	if _, err := ParseArchitectureString(text, s); err == nil {
+		t.Error("overfull group accepted")
+	}
+}
+
+func TestParseArchitectureRejectsMissingModule(t *testing.T) {
+	s := d695()
+	a, err := DesignStep1(s, target(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one group from the serialized form: coverage must fail.
+	lines := strings.Split(strings.TrimSpace(a.WriteString()), "\n")
+	text := strings.Join(lines[:len(lines)-1], "\n")
+	if _, err := ParseArchitectureString(text, s); err == nil {
+		t.Error("architecture missing a group accepted")
+	}
+}
+
+func TestParseArchitectureDuplicateModule(t *testing.T) {
+	s := d695()
+	text := "Architecture d695\nDepth 1000000\n" +
+		"Group Width 30 Modules 1 2 3 4 5 6 7 8 9 10\n" +
+		"Group Width 2 Modules 3\n"
+	if _, err := ParseArchitectureString(text, s); err == nil {
+		t.Error("duplicate module assignment accepted")
+	}
+}
+
+func TestParseArchitectureSkipsComments(t *testing.T) {
+	s := d695()
+	a, err := DesignStep1(s, target(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := "# saved by test\n\n" + a.WriteString()
+	if _, err := ParseArchitectureString(text, s); err != nil {
+		t.Errorf("comments broke parsing: %v", err)
+	}
+}

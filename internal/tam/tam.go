@@ -1,0 +1,664 @@
+// Package tam implements the on-chip test access mechanism (TAM)
+// architecture model of the reproduced paper and its Step 1 design
+// algorithm (Section 6).
+//
+// The architecture is a set of channel groups: fixed-width test buses that
+// operate concurrently. The modules assigned to one group are tested
+// sequentially over that group's wires, so the group's vector memory fill
+// is the sum of its members' wrapped test times, and the SOC test length is
+// the maximum fill over all groups. One TAM wire consumes two ATE channels
+// (stimulus in + response out through the E-RPCT interface), so the SOC's
+// channel count k = 2·ΣWidth is always even.
+package tam
+
+import (
+	"fmt"
+	"sort"
+
+	"multisite/internal/ate"
+	"multisite/internal/soc"
+	"multisite/internal/wrapper"
+)
+
+// Group is one channel group: a test bus of Width TAM wires whose member
+// modules are tested one after another.
+type Group struct {
+	// Width is the group's TAM width in wires.
+	Width int
+	// Members are indices into the SOC's Modules slice, in test order.
+	Members []int
+	// Times[i] is the wrapped test time in cycles of Members[i] at the
+	// current Width.
+	Times []int64
+	// Fill is the vector memory depth the group consumes: ΣTimes.
+	Fill int64
+}
+
+// Architecture is a complete channel-group assignment for an SOC against a
+// vector memory depth.
+type Architecture struct {
+	// SOC is the chip the architecture was designed for.
+	SOC *soc.SOC
+	// Designer is the memoized wrapper designer shared by all queries.
+	Designer *wrapper.Designer
+	// Depth is the ATE vector memory depth per channel, in cycles.
+	Depth int64
+	// Groups is the set of channel groups.
+	Groups []*Group
+}
+
+// Wires returns the total TAM wires ΣWidth.
+func (a *Architecture) Wires() int {
+	n := 0
+	for _, g := range a.Groups {
+		n += g.Width
+	}
+	return n
+}
+
+// Channels returns the ATE channel count k = 2·Wires (always even).
+func (a *Architecture) Channels() int { return 2 * a.Wires() }
+
+// TestCycles returns the SOC test length in cycles: the maximum group fill.
+func (a *Architecture) TestCycles() int64 {
+	var n int64
+	for _, g := range a.Groups {
+		if g.Fill > n {
+			n = g.Fill
+		}
+	}
+	return n
+}
+
+// FreeMemory returns the total unused vector memory over all used channels,
+// in wire·cycles: Σ Width·(Depth − Fill).
+func (a *Architecture) FreeMemory() int64 {
+	var n int64
+	for _, g := range a.Groups {
+		n += int64(g.Width) * (a.Depth - g.Fill)
+	}
+	return n
+}
+
+// refit recomputes a group's member times and fill at its current width.
+func (a *Architecture) refit(g *Group) {
+	g.Fill = 0
+	for i, mi := range g.Members {
+		t := a.Designer.Time(mi, g.Width)
+		g.Times[i] = t
+		g.Fill += t
+	}
+}
+
+// fillAt returns the group's fill if its width were w, without mutating it.
+func (a *Architecture) fillAt(g *Group, w int) int64 {
+	var fill int64
+	for _, mi := range g.Members {
+		fill += a.Designer.Time(mi, w)
+	}
+	return fill
+}
+
+// Clone deep-copies the architecture. The SOC and Designer are shared
+// (both are read-only caches for architecture purposes).
+func (a *Architecture) Clone() *Architecture {
+	out := &Architecture{SOC: a.SOC, Designer: a.Designer, Depth: a.Depth}
+	out.Groups = make([]*Group, len(a.Groups))
+	for i, g := range a.Groups {
+		ng := &Group{Width: g.Width, Fill: g.Fill}
+		ng.Members = append([]int(nil), g.Members...)
+		ng.Times = append([]int64(nil), g.Times...)
+		out.Groups[i] = ng
+	}
+	return out
+}
+
+// Validate checks the architecture: every testable module assigned exactly
+// once, group fills consistent and within depth.
+func (a *Architecture) Validate() error {
+	assigned := make(map[int]int)
+	for gi, g := range a.Groups {
+		if g.Width < 1 {
+			return fmt.Errorf("group %d: non-positive width %d", gi, g.Width)
+		}
+		if len(g.Members) != len(g.Times) {
+			return fmt.Errorf("group %d: %d members but %d times", gi, len(g.Members), len(g.Times))
+		}
+		var fill int64
+		for i, mi := range g.Members {
+			if prev, dup := assigned[mi]; dup {
+				return fmt.Errorf("module %d assigned to groups %d and %d", mi, prev, gi)
+			}
+			assigned[mi] = gi
+			want := a.Designer.Time(mi, g.Width)
+			if g.Times[i] != want {
+				return fmt.Errorf("group %d member %d: time %d != designed %d", gi, mi, g.Times[i], want)
+			}
+			fill += g.Times[i]
+		}
+		if fill != g.Fill {
+			return fmt.Errorf("group %d: fill %d != sum of times %d", gi, g.Fill, fill)
+		}
+		if fill > a.Depth {
+			return fmt.Errorf("group %d: fill %d exceeds depth %d", gi, fill, a.Depth)
+		}
+	}
+	for _, mi := range a.SOC.TestableModules() {
+		if _, ok := assigned[mi]; !ok {
+			return fmt.Errorf("testable module %d not assigned to any group", mi)
+		}
+	}
+	return nil
+}
+
+// OptionRule selects how Step 1 resolves the case where a module fits no
+// existing group: the paper's rule compares creating a new group against
+// widening an existing one by the resulting total free memory; the other
+// rules are ablations.
+type OptionRule int
+
+const (
+	// RuleMaxFreeMemory is the paper's rule: choose the option that
+	// maximizes total free vector memory over all used channels.
+	RuleMaxFreeMemory OptionRule = iota
+	// RuleAlwaysNewGroup always opens a new channel group.
+	RuleAlwaysNewGroup
+	// RulePreferWiden widens an existing group whenever feasible, and
+	// opens a new group only as a last resort.
+	RulePreferWiden
+)
+
+// Options tunes the Step 1 design.
+type Options struct {
+	// Rule is the option-selection rule (default: the paper's
+	// RuleMaxFreeMemory).
+	Rule OptionRule
+	// MaxWires caps the total TAM wires; 0 means Channels/2 of the ATE.
+	MaxWires int
+	// NoSqueeze disables the minimal-channel squeeze: by default,
+	// Step 1 re-runs the greedy under progressively tighter wire caps
+	// until infeasible, implementing the paper's "criterion 1 (minimize
+	// k) has priority" at full strength. A tighter cap prunes wide
+	// options and forces the greedy into denser packings it would not
+	// otherwise pick.
+	NoSqueeze bool
+	// SinglePass disables the restart portfolio and uses only the
+	// paper's literal heuristic (modules sorted by decreasing minimum
+	// width, groups chosen by smallest added depth). By default Step 1
+	// also tries alternative module orders and a best-fit group choice
+	// and keeps the architecture with the fewest channels.
+	SinglePass bool
+}
+
+// sortOrder selects the module processing order of one restart.
+type sortOrder int
+
+const (
+	byMinWidth sortOrder = iota // the paper's decreasing k_min(m)
+	byMinArea                   // decreasing irreducible test volume
+	byMinTime                   // decreasing test time at k_min
+)
+
+// placeChoice selects how a module picks among fitting groups.
+type placeChoice int
+
+const (
+	// smallestAddedDepth is the paper's rule: the group where the
+	// module's own test needs the least vector memory.
+	smallestAddedDepth placeChoice = iota
+	// bestFit picks the fitting group whose remaining slack after the
+	// module is smallest, packing groups densely.
+	bestFit
+)
+
+// DesignStep1 runs the paper's Step 1 with default options: it builds the
+// channel-group architecture that (criterion 1) minimizes the SOC's ATE
+// channel count and (criterion 2) minimizes the vector memory fill, so
+// that the maximum number of sites can be tested in parallel.
+func DesignStep1(s *soc.SOC, target ate.ATE) (*Architecture, error) {
+	return DesignStep1With(s, target, Options{})
+}
+
+// DesignStep1With runs Step 1 with explicit options.
+func DesignStep1With(s *soc.SOC, target ate.ATE, opts Options) (*Architecture, error) {
+	best, err := designPortfolio(s, target, opts)
+	if err != nil || opts.NoSqueeze {
+		return best, err
+	}
+	// Criterion 1 squeeze: rerun under a cap one wire below the current
+	// result until the greedy can no longer fit. Ties on channels keep
+	// the earlier (lower-fill) architecture.
+	for {
+		tight := opts
+		tight.MaxWires = best.Wires() - 1
+		if tight.MaxWires < 1 {
+			return best, nil
+		}
+		next, err := designPortfolio(s, target, tight)
+		if err != nil {
+			return best, nil
+		}
+		if next.Wires() >= best.Wires() {
+			return best, nil
+		}
+		best = next
+	}
+}
+
+// designPortfolio runs the greedy under one or several (order, choice)
+// strategies and keeps the architecture with the fewest wires (ties:
+// smallest test length).
+func designPortfolio(s *soc.SOC, target ate.ATE, opts Options) (*Architecture, error) {
+	if opts.SinglePass {
+		return designOnce(s, target, opts, byMinWidth, smallestAddedDepth)
+	}
+	orders := []sortOrder{byMinWidth, byMinArea, byMinTime}
+	choices := []placeChoice{smallestAddedDepth, bestFit}
+	var best *Architecture
+	var firstErr error
+	for _, order := range orders {
+		for _, choice := range choices {
+			a, err := designOnce(s, target, opts, order, choice)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if best == nil || a.Wires() < best.Wires() ||
+				(a.Wires() == best.Wires() && a.TestCycles() < best.TestCycles()) {
+				best = a
+			}
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+func designOnce(s *soc.SOC, target ate.ATE, opts Options, order sortOrder, choice placeChoice) (*Architecture, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	maxWires := opts.MaxWires
+	if maxWires <= 0 {
+		maxWires = target.Channels / 2
+	}
+	d := wrapper.For(s)
+	a := &Architecture{SOC: s, Designer: d, Depth: target.Depth}
+
+	modules := s.TestableModules()
+	if len(modules) == 0 {
+		return nil, fmt.Errorf("soc %s: no testable modules", s.Name)
+	}
+
+	// Minimum width per module; infeasible if any module cannot fit the
+	// vector memory depth at any width.
+	wmin := make(map[int]int, len(modules))
+	for _, mi := range modules {
+		w, ok := d.MinWidth(mi, target.Depth, maxWires)
+		if !ok {
+			return nil, fmt.Errorf("soc %s: module %d (%s) cannot be tested within depth %d on %d wires",
+				s.Name, s.Modules[mi].ID, s.Modules[mi].Name, target.Depth, maxWires)
+		}
+		wmin[mi] = w
+	}
+
+	// Module processing order. The paper sorts by decreasing minimum
+	// width; the portfolio also tries decreasing irreducible area and
+	// decreasing minimum-width test time. Ties fall back to the other
+	// keys and finally the index, for determinism.
+	key := func(mi int) int64 {
+		switch order {
+		case byMinArea:
+			var best int64 = -1
+			for w := 1; w <= maxWires && w <= d.MaxWidthTable(mi); w++ {
+				if t := d.Time(mi, w); t <= target.Depth {
+					if area := int64(w) * t; best < 0 || area < best {
+						best = area
+					}
+				}
+			}
+			return best
+		case byMinTime:
+			return d.Time(mi, wmin[mi])
+		default:
+			return int64(wmin[mi])
+		}
+	}
+	keys := make(map[int]int64, len(modules))
+	for _, mi := range modules {
+		keys[mi] = key(mi)
+	}
+	sort.SliceStable(modules, func(x, y int) bool {
+		a, b := modules[x], modules[y]
+		if keys[a] != keys[b] {
+			return keys[a] > keys[b]
+		}
+		if wmin[a] != wmin[b] {
+			return wmin[a] > wmin[b]
+		}
+		ta, tb := d.Time(a, wmin[a]), d.Time(b, wmin[b])
+		if ta != tb {
+			return ta > tb
+		}
+		return a < b
+	})
+
+	for _, mi := range modules {
+		if err := a.place(mi, wmin[mi], maxWires, opts.Rule, choice); err != nil {
+			return nil, err
+		}
+	}
+	a.localMinimize()
+	return a, nil
+}
+
+// localMinimize is the post-placement clean-up that serves criterion 1:
+// shrink over-wide groups, merge group pairs when the union fits at the
+// wider width, and move members between groups when a move lets the donor
+// shrink. Each accepted change strictly reduces the wire count, so the
+// loop terminates.
+func (a *Architecture) localMinimize() {
+	a.shrinkAll()
+	for {
+		if a.mergeOnce() {
+			continue
+		}
+		if a.moveOnce() {
+			continue
+		}
+		return
+	}
+}
+
+// shrinkAll narrows every group to the smallest width at which its members
+// still fit the depth.
+func (a *Architecture) shrinkAll() {
+	for _, g := range a.Groups {
+		for g.Width > 1 && a.fillAt(g, g.Width-1) <= a.Depth {
+			g.Width--
+		}
+		a.refit(g)
+	}
+}
+
+// mergeOnce merges the best group pair whose union fits within the depth
+// at the wider of the two widths, saving the narrower group's wires.
+// Returns false when no merge applies.
+func (a *Architecture) mergeOnce() bool {
+	bestI, bestJ := -1, -1
+	var bestFill int64
+	for i := 0; i < len(a.Groups); i++ {
+		for j := i + 1; j < len(a.Groups); j++ {
+			gi, gj := a.Groups[i], a.Groups[j]
+			w := gi.Width
+			if gj.Width > w {
+				w = gj.Width
+			}
+			var fill int64
+			for _, mi := range gi.Members {
+				fill += a.Designer.Time(mi, w)
+			}
+			for _, mi := range gj.Members {
+				fill += a.Designer.Time(mi, w)
+			}
+			if fill > a.Depth {
+				continue
+			}
+			if bestI < 0 || fill < bestFill {
+				bestI, bestJ, bestFill = i, j, fill
+			}
+		}
+	}
+	if bestI < 0 {
+		return false
+	}
+	gi, gj := a.Groups[bestI], a.Groups[bestJ]
+	if gj.Width > gi.Width {
+		gi.Width = gj.Width
+	}
+	gi.Members = append(gi.Members, gj.Members...)
+	gi.Times = append(gi.Times, gj.Times...)
+	a.Groups = append(a.Groups[:bestJ], a.Groups[bestJ+1:]...)
+	a.refit(gi)
+	// The merged group may now shrink below the wider width.
+	for gi.Width > 1 && a.fillAt(gi, gi.Width-1) <= a.Depth {
+		gi.Width--
+	}
+	a.refit(gi)
+	return true
+}
+
+// moveOnce relocates one module so that its donor group can shrink (or
+// disappear), accepting only moves that reduce the total wire count.
+// Returns false when no improving move exists.
+func (a *Architecture) moveOnce() bool {
+	for gi, g := range a.Groups {
+		for idx, mi := range g.Members {
+			for gj, h := range a.Groups {
+				if gi == gj {
+					continue
+				}
+				t := a.Designer.Time(mi, h.Width)
+				if h.Fill+t > a.Depth {
+					continue
+				}
+				// Donor width after losing the member.
+				rest := append([]int(nil), g.Members[:idx]...)
+				rest = append(rest, g.Members[idx+1:]...)
+				newW := 0
+				if len(rest) > 0 {
+					newW = g.Width
+					for newW > 1 {
+						var fill int64
+						for _, r := range rest {
+							fill += a.Designer.Time(r, newW-1)
+						}
+						if fill > a.Depth {
+							break
+						}
+						newW--
+					}
+				}
+				if newW >= g.Width {
+					continue // no wires saved
+				}
+				// Accept: move mi into h, shrink or delete g.
+				h.Members = append(h.Members, mi)
+				h.Times = append(h.Times, t)
+				h.Fill += t
+				if len(rest) == 0 {
+					a.Groups = append(a.Groups[:gi], a.Groups[gi+1:]...)
+				} else {
+					g.Members = rest
+					g.Times = make([]int64, len(rest))
+					g.Width = newW
+					a.refit(g)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// place assigns one module, implementing the per-module step of Step 1.
+func (a *Architecture) place(mi, wmin, maxWires int, rule OptionRule, choice placeChoice) error {
+	// First try existing groups without widening. The paper assigns to
+	// the group requiring the smallest vector memory depth (smallest
+	// added time); the best-fit variant instead minimizes the slack
+	// left after placement.
+	bestG := -1
+	var bestT, bestKey int64
+	for gi, g := range a.Groups {
+		t := a.Designer.Time(mi, g.Width)
+		if g.Fill+t > a.Depth {
+			continue
+		}
+		key := t
+		if choice == bestFit {
+			key = a.Depth - (g.Fill + t) // remaining slack
+		}
+		if bestG < 0 || key < bestKey {
+			bestG, bestT, bestKey = gi, t, key
+		}
+	}
+	if bestG >= 0 {
+		g := a.Groups[bestG]
+		g.Members = append(g.Members, mi)
+		g.Times = append(g.Times, bestT)
+		g.Fill += bestT
+		return nil
+	}
+
+	// The module fits no existing group. Option (1): open a new group of
+	// width wmin. Option (2): widen an existing group just enough that
+	// the module (and the refitted members) fit.
+	used := a.Wires()
+	type option struct {
+		group int // -1 for a new group
+		extra int // wires added
+		free  int64
+	}
+	var candidates []option
+
+	if used+wmin <= maxWires {
+		newFill := a.Designer.Time(mi, wmin)
+		free := a.FreeMemory() + int64(wmin)*(a.Depth-newFill)
+		candidates = append(candidates, option{group: -1, extra: wmin, free: free})
+	}
+	for gi, g := range a.Groups {
+		for e := 1; used+e <= maxWires; e++ {
+			w := g.Width + e
+			fill := a.fillAt(g, w) + a.Designer.Time(mi, w)
+			if fill > a.Depth {
+				continue
+			}
+			// Feasible extension found (fills are non-increasing
+			// in width, so the first e that fits is minimal).
+			free := a.FreeMemory() - int64(g.Width)*(a.Depth-g.Fill) +
+				int64(w)*(a.Depth-fill)
+			candidates = append(candidates, option{group: gi, extra: e, free: free})
+			break
+		}
+	}
+	if len(candidates) == 0 {
+		return fmt.Errorf("soc %s cannot be tested on the target ATE: module %d needs more than the %d available wires",
+			a.SOC.Name, a.SOC.Modules[mi].ID, maxWires)
+	}
+
+	chosen := candidates[0]
+	switch rule {
+	case RuleAlwaysNewGroup:
+		// Prefer the new-group option when present; otherwise fall
+		// back to the cheapest widening.
+		for _, c := range candidates {
+			if c.group == -1 {
+				chosen = c
+				break
+			}
+		}
+		if chosen.group != -1 {
+			for _, c := range candidates[1:] {
+				if c.extra < chosen.extra {
+					chosen = c
+				}
+			}
+		}
+	case RulePreferWiden:
+		found := false
+		for _, c := range candidates {
+			if c.group >= 0 && (!found || c.extra < chosen.extra ||
+				(c.extra == chosen.extra && c.free > chosen.free)) {
+				chosen = c
+				found = true
+			}
+		}
+		if !found {
+			chosen = candidates[0]
+		}
+	default: // RuleMaxFreeMemory, the paper's rule.
+		for _, c := range candidates[1:] {
+			if c.free > chosen.free ||
+				(c.free == chosen.free && c.extra < chosen.extra) {
+				chosen = c
+			}
+		}
+	}
+
+	if chosen.group == -1 {
+		g := &Group{Width: wmin}
+		t := a.Designer.Time(mi, wmin)
+		g.Members = []int{mi}
+		g.Times = []int64{t}
+		g.Fill = t
+		a.Groups = append(a.Groups, g)
+		return nil
+	}
+	g := a.Groups[chosen.group]
+	g.Width += chosen.extra
+	a.refit(g)
+	t := a.Designer.Time(mi, g.Width)
+	g.Members = append(g.Members, mi)
+	g.Times = append(g.Times, t)
+	g.Fill += t
+	return nil
+}
+
+// WidenOnce adds one TAM wire to the most-filled group whose fill the
+// extra wire actually reduces (the paper's Step 2 redistribution move).
+// It returns false when no group can improve, i.e. all wrapped times have
+// saturated.
+func (a *Architecture) WidenOnce() bool {
+	order := make([]int, len(a.Groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return a.Groups[order[x]].Fill > a.Groups[order[y]].Fill
+	})
+	for _, gi := range order {
+		g := a.Groups[gi]
+		if a.fillAt(g, g.Width+1) < g.Fill {
+			g.Width++
+			a.refit(g)
+			return true
+		}
+	}
+	return false
+}
+
+// Widen distributes up to extraWires wires one at a time (WidenOnce) and
+// returns how many were actually consumed.
+func (a *Architecture) Widen(extraWires int) int {
+	used := 0
+	for used < extraWires && a.WidenOnce() {
+		used++
+	}
+	return used
+}
+
+// String renders a compact human-readable summary.
+func (a *Architecture) String() string {
+	s := fmt.Sprintf("architecture for %s: k=%d channels, %d groups, test=%d cycles (depth %d)\n",
+		a.SOC.Name, a.Channels(), len(a.Groups), a.TestCycles(), a.Depth)
+	for gi, g := range a.Groups {
+		s += fmt.Sprintf("  group %d: width %d wires, fill %d/%d, modules",
+			gi, g.Width, g.Fill, a.Depth)
+		for _, mi := range g.Members {
+			m := &a.SOC.Modules[mi]
+			if m.Name != "" {
+				s += fmt.Sprintf(" %s", m.Name)
+			} else {
+				s += fmt.Sprintf(" #%d", m.ID)
+			}
+		}
+		s += "\n"
+	}
+	return s
+}

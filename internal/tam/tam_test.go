@@ -1,0 +1,322 @@
+package tam
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multisite/internal/ate"
+	"multisite/internal/soc"
+)
+
+func d695() *soc.SOC {
+	balanced := func(total, n int) []soc.ScanChain {
+		out := make([]soc.ScanChain, n)
+		q, r := total/n, total%n
+		for i := range out {
+			l := q
+			if i < r {
+				l++
+			}
+			out[i] = soc.ScanChain{Length: l}
+		}
+		return out
+	}
+	return &soc.SOC{Name: "d695", Modules: []soc.Module{
+		{ID: 0, Name: "top", Level: 0},
+		{ID: 1, Name: "c6288", Inputs: 32, Outputs: 32, Patterns: 12},
+		{ID: 2, Name: "c7552", Inputs: 207, Outputs: 108, Patterns: 73},
+		{ID: 3, Name: "s838", Inputs: 35, Outputs: 2, Patterns: 75, ScanChains: soc.ChainsOfLengths(32)},
+		{ID: 4, Name: "s9234", Inputs: 36, Outputs: 39, Patterns: 105, ScanChains: soc.ChainsOfLengths(54, 53, 52, 52)},
+		{ID: 5, Name: "s38584", Inputs: 38, Outputs: 304, Patterns: 110, ScanChains: balanced(1426, 32)},
+		{ID: 6, Name: "s13207", Inputs: 62, Outputs: 152, Patterns: 234, ScanChains: balanced(638, 16)},
+		{ID: 7, Name: "s15850", Inputs: 77, Outputs: 150, Patterns: 95, ScanChains: balanced(534, 16)},
+		{ID: 8, Name: "s5378", Inputs: 35, Outputs: 49, Patterns: 97, ScanChains: soc.ChainsOfLengths(46, 45, 44, 44)},
+		{ID: 9, Name: "s35932", Inputs: 35, Outputs: 320, Patterns: 12, ScanChains: soc.UniformChains(32, 54)},
+		{ID: 10, Name: "s38417", Inputs: 28, Outputs: 106, Patterns: 68, ScanChains: balanced(1636, 32)},
+	}}
+}
+
+func target(depth int64) ate.ATE {
+	return ate.ATE{Channels: 256, Depth: depth, ClockHz: 5e6}
+}
+
+func TestStep1D695KnownChannels(t *testing.T) {
+	// Regression against the paper's Table 1 d695 column (our Step 1
+	// matches the published values at these depths).
+	s := d695()
+	cases := []struct {
+		depthK int64
+		wantK  int
+	}{
+		{48, 28}, {64, 22}, {80, 18}, {96, 14}, {112, 12}, {128, 12},
+	}
+	for _, c := range cases {
+		a, err := DesignStep1(s, target(c.depthK*1024))
+		if err != nil {
+			t.Fatalf("D=%dK: %v", c.depthK, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("D=%dK: invalid architecture: %v", c.depthK, err)
+		}
+		if a.Channels() != c.wantK {
+			t.Errorf("D=%dK: k = %d, want %d", c.depthK, a.Channels(), c.wantK)
+		}
+		if a.TestCycles() > c.depthK*1024 {
+			t.Errorf("D=%dK: test %d exceeds depth", c.depthK, a.TestCycles())
+		}
+	}
+}
+
+func TestStep1ChannelsEven(t *testing.T) {
+	s := d695()
+	for _, depthK := range []int64{48, 56, 72, 104} {
+		a, err := DesignStep1(s, target(depthK*1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Channels()%2 != 0 {
+			t.Errorf("D=%dK: odd channel count %d", depthK, a.Channels())
+		}
+	}
+}
+
+func TestStep1AssignsEveryTestableModule(t *testing.T) {
+	s := d695()
+	a, err := DesignStep1(s, target(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := map[int]bool{}
+	for _, g := range a.Groups {
+		for _, mi := range g.Members {
+			assigned[mi] = true
+		}
+	}
+	for _, mi := range s.TestableModules() {
+		if !assigned[mi] {
+			t.Errorf("module %d unassigned", mi)
+		}
+	}
+	// The zero-pattern top module must not appear.
+	if assigned[0] {
+		t.Error("untestable module 0 assigned")
+	}
+}
+
+func TestStep1InfeasibleDepth(t *testing.T) {
+	s := d695()
+	if _, err := DesignStep1(s, target(100)); err == nil {
+		t.Error("tiny depth accepted")
+	}
+}
+
+func TestStep1InfeasibleChannels(t *testing.T) {
+	s := d695()
+	// Depth forces wide TAMs; 4 channels cannot host them.
+	tiny := ate.ATE{Channels: 4, Depth: 48 * 1024, ClockHz: 5e6}
+	if _, err := DesignStep1(s, tiny); err == nil {
+		t.Error("4-channel ATE accepted for d695 at 48K")
+	}
+}
+
+func TestStep1RejectsBadInputs(t *testing.T) {
+	s := d695()
+	if _, err := DesignStep1(s, ate.ATE{}); err == nil {
+		t.Error("zero ATE accepted")
+	}
+	empty := &soc.SOC{Name: "e", Modules: []soc.Module{{ID: 0}}}
+	if _, err := DesignStep1(empty, target(1024)); err == nil {
+		t.Error("SOC without testable modules accepted")
+	}
+}
+
+func TestWidenReducesTestCycles(t *testing.T) {
+	s := d695()
+	a, err := DesignStep1(s, target(48*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := a.TestCycles()
+	c := a.Clone()
+	used := c.Widen(10)
+	if used == 0 {
+		t.Fatal("widen consumed no wires")
+	}
+	if c.TestCycles() > before {
+		t.Errorf("widen increased test cycles %d → %d", before, c.TestCycles())
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("widened architecture invalid: %v", err)
+	}
+	// Original untouched.
+	if a.TestCycles() != before {
+		t.Error("Widen on clone mutated the original")
+	}
+}
+
+func TestWidenStopsAtSaturation(t *testing.T) {
+	s := &soc.SOC{Name: "tiny", Modules: []soc.Module{
+		{ID: 1, Inputs: 2, Outputs: 2, Patterns: 3},
+	}}
+	a, err := DesignStep1(s, ate.ATE{Channels: 64, Depth: 1 << 20, ClockHz: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-in/2-out module saturates almost immediately.
+	used := a.Widen(1000)
+	if used > 4 {
+		t.Errorf("widen consumed %d wires on a saturated module", used)
+	}
+	if more := a.WidenOnce(); more {
+		t.Error("WidenOnce reported progress after saturation")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := d695()
+	a, err := DesignStep1(s, target(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Clone()
+	c.Groups[0].Width += 5
+	c.refit(c.Groups[0])
+	if a.Groups[0].Width == c.Groups[0].Width {
+		t.Error("clone shares group storage")
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := d695()
+	a, err := DesignStep1(s, target(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Clone()
+	c.Groups[0].Fill++
+	if err := c.Validate(); err == nil {
+		t.Error("fill corruption accepted")
+	}
+	c2 := a.Clone()
+	c2.Groups[0].Members = append(c2.Groups[0].Members, c2.Groups[1].Members[0])
+	c2.Groups[0].Times = append(c2.Groups[0].Times, 1)
+	if err := c2.Validate(); err == nil {
+		t.Error("duplicate assignment accepted")
+	}
+}
+
+func TestFreeMemoryIdentity(t *testing.T) {
+	s := d695()
+	a, err := DesignStep1(s, target(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, g := range a.Groups {
+		want += int64(g.Width) * (a.Depth - g.Fill)
+	}
+	if got := a.FreeMemory(); got != want {
+		t.Errorf("FreeMemory = %d, want %d", got, want)
+	}
+}
+
+func TestOptionRulesAllFeasible(t *testing.T) {
+	s := d695()
+	for _, rule := range []OptionRule{RuleMaxFreeMemory, RuleAlwaysNewGroup, RulePreferWiden} {
+		a, err := DesignStep1With(s, target(64*1024), Options{Rule: rule})
+		if err != nil {
+			t.Errorf("rule %d: %v", rule, err)
+			continue
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("rule %d: invalid: %v", rule, err)
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := d695()
+	a, err := DesignStep1(s, target(64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := a.String()
+	if !strings.Contains(out, "d695") || !strings.Contains(out, "group 0") {
+		t.Errorf("summary missing fields:\n%s", out)
+	}
+}
+
+// randomSOC produces a small random SOC for property testing.
+func randomSOC(rng *rand.Rand) *soc.SOC {
+	n := 1 + rng.Intn(10)
+	s := &soc.SOC{Name: "prop"}
+	for i := 0; i < n; i++ {
+		m := soc.Module{
+			ID:       i + 1,
+			Inputs:   1 + rng.Intn(50),
+			Outputs:  rng.Intn(50),
+			Patterns: 1 + rng.Intn(80),
+		}
+		for c := rng.Intn(5); c > 0; c-- {
+			m.ScanChains = append(m.ScanChains, soc.ScanChain{Length: 1 + rng.Intn(80)})
+		}
+		s.Modules = append(s.Modules, m)
+	}
+	return s
+}
+
+func TestPropertyStep1Valid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSOC(rng)
+		depth := int64(2000 + rng.Intn(200000))
+		a, err := DesignStep1(s, ate.ATE{Channels: 128, Depth: depth, ClockHz: 1e6})
+		if err != nil {
+			return true // infeasible combinations are fine
+		}
+		if err := a.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if a.TestCycles() > depth || a.Channels() > 128 || a.Channels()%2 != 0 {
+			t.Logf("seed %d: k=%d cycles=%d depth=%d", seed, a.Channels(), a.TestCycles(), depth)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWidenMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSOC(rng)
+		depth := int64(5000 + rng.Intn(100000))
+		a, err := DesignStep1(s, ate.ATE{Channels: 128, Depth: depth, ClockHz: 1e6})
+		if err != nil {
+			return true
+		}
+		prev := a.TestCycles()
+		for i := 0; i < 8; i++ {
+			if !a.WidenOnce() {
+				break
+			}
+			cur := a.TestCycles()
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return a.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

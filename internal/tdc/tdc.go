@@ -1,0 +1,104 @@
+// Package tdc models test data compression, the cost-reduction technique
+// the reproduced paper calls "orthogonal" to multi-site testing: TDC
+// exploits the don't-care bits in scan patterns to shrink both the vector
+// memory a test needs and its application time, while multi-site testing
+// amortizes the tester over devices. This package makes the orthogonality
+// claim checkable: compressing an SOC's tests frees vector memory depth,
+// which Step 1 converts into fewer channels, which raises the multi-site —
+// the two techniques compose multiplicatively rather than competing.
+//
+// The model is the standard EDT-style abstraction: a decompressor expands
+// e external scan channels into the wrapper chains, achieving an effective
+// stimulus compression ratio r bounded by the pattern set's don't-care
+// density; responses are compacted losslessly for modeling purposes. At
+// the architecture level this divides every module's pattern count by the
+// achieved ratio (patterns carry the same care bits in fewer tester
+// cycles).
+package tdc
+
+import (
+	"fmt"
+	"math"
+
+	"multisite/internal/soc"
+)
+
+// Scheme describes a compression scheme applied to a module's pattern set.
+type Scheme struct {
+	// Ratio is the nominal stimulus compression ratio (e.g. 10 for
+	// 10x EDT). Must be ≥ 1.
+	Ratio float64
+	// CareDensity is the fraction of specified (care) bits in the
+	// stimulus; the achievable ratio is capped at 1/CareDensity.
+	// Zero means the customary 2% specified bits (cap 50x).
+	CareDensity float64
+	// OverheadPatterns is the fixed pattern overhead of the
+	// decompressor (setup/masking patterns per module).
+	OverheadPatterns int
+}
+
+// Validate checks the scheme.
+func (s Scheme) Validate() error {
+	if s.Ratio < 1 {
+		return fmt.Errorf("tdc: ratio %g below 1", s.Ratio)
+	}
+	if s.CareDensity < 0 || s.CareDensity > 1 {
+		return fmt.Errorf("tdc: care density %g outside [0,1]", s.CareDensity)
+	}
+	if s.OverheadPatterns < 0 {
+		return fmt.Errorf("tdc: negative overhead")
+	}
+	return nil
+}
+
+// EffectiveRatio returns the ratio actually achieved: the nominal ratio
+// capped by the care-bit density.
+func (s Scheme) EffectiveRatio() float64 {
+	density := s.CareDensity
+	if density == 0 {
+		density = 0.02
+	}
+	cap := 1 / density
+	if s.Ratio < cap {
+		return s.Ratio
+	}
+	return cap
+}
+
+// Apply returns a compressed copy of the SOC: every testable module's
+// pattern count is divided by the effective ratio (rounded up, plus the
+// decompressor overhead). Memories are left untouched — algorithmic
+// patterns carry no don't-cares.
+func Apply(s *soc.SOC, scheme Scheme) (*soc.SOC, error) {
+	if err := scheme.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := scheme.EffectiveRatio()
+	out := s.Clone()
+	out.Name = fmt.Sprintf("%s-tdc%gx", s.Name, r)
+	for i := range out.Modules {
+		m := &out.Modules[i]
+		if m.Patterns == 0 || m.IsMemory {
+			continue
+		}
+		p := int(math.Ceil(float64(m.Patterns)/r)) + scheme.OverheadPatterns
+		if p < 1 {
+			p = 1
+		}
+		m.Patterns = p
+	}
+	return out, nil
+}
+
+// VolumeReduction returns the factor by which the SOC's total test data
+// volume shrank: before/after.
+func VolumeReduction(before, after *soc.SOC) float64 {
+	b, a := before.TotalTestBits(), after.TotalTestBits()
+	if a == 0 {
+		return 0
+	}
+	return float64(b) / float64(a)
+}

@@ -1,0 +1,123 @@
+package tdc
+
+import (
+	"math"
+	"testing"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/core"
+)
+
+func TestSchemeValidate(t *testing.T) {
+	if err := (Scheme{Ratio: 10}).Validate(); err != nil {
+		t.Errorf("valid scheme rejected: %v", err)
+	}
+	bad := []Scheme{
+		{Ratio: 0.5},
+		{Ratio: 10, CareDensity: 1.5},
+		{Ratio: 10, OverheadPatterns: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad scheme %d accepted", i)
+		}
+	}
+}
+
+func TestEffectiveRatioCappedByCareDensity(t *testing.T) {
+	s := Scheme{Ratio: 100, CareDensity: 0.05} // cap 20x
+	if got := s.EffectiveRatio(); math.Abs(got-20) > 1e-12 {
+		t.Errorf("effective ratio = %g, want 20", got)
+	}
+	s2 := Scheme{Ratio: 10, CareDensity: 0.05}
+	if got := s2.EffectiveRatio(); got != 10 {
+		t.Errorf("uncapped ratio = %g, want 10", got)
+	}
+	s3 := Scheme{Ratio: 100} // default density 2% → cap 50x
+	if got := s3.EffectiveRatio(); math.Abs(got-50) > 1e-12 {
+		t.Errorf("default-density ratio = %g, want 50", got)
+	}
+}
+
+func TestApplyShrinksPatterns(t *testing.T) {
+	s := benchdata.Shared("d695")
+	c, err := Apply(s, Scheme{Ratio: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("compressed SOC invalid: %v", err)
+	}
+	// s13207: 234 patterns → ceil(234/10) = 24.
+	if got := c.Module(6).Patterns; got != 24 {
+		t.Errorf("s13207 compressed patterns = %d, want 24", got)
+	}
+	// The original is untouched.
+	if s.Module(6).Patterns != 234 {
+		t.Error("Apply mutated the input SOC")
+	}
+	red := VolumeReduction(s, c)
+	if red < 8 || red > 11 {
+		t.Errorf("volume reduction %gx, want ≈10x", red)
+	}
+}
+
+func TestApplyLeavesMemoriesAlone(t *testing.T) {
+	s := benchdata.Shared("p22810")
+	c, err := Apply(s, Scheme{Ratio: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Modules {
+		if s.Modules[i].IsMemory && c.Modules[i].Patterns != s.Modules[i].Patterns {
+			t.Errorf("memory %d patterns changed", s.Modules[i].ID)
+		}
+	}
+}
+
+func TestApplyOverhead(t *testing.T) {
+	s := benchdata.Shared("d695")
+	c, err := Apply(s, Scheme{Ratio: 10, OverheadPatterns: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Module(6).Patterns; got != 29 {
+		t.Errorf("patterns with overhead = %d, want 29", got)
+	}
+}
+
+func TestOrthogonalityWithMultiSite(t *testing.T) {
+	// The paper's claim: TDC and multi-site compose. Compressing d695
+	// 10x must raise the optimal multi-site (fewer channels per SOC at
+	// the same depth) and the throughput.
+	s := benchdata.Shared("d695")
+	c, err := Apply(s, Scheme{Ratio: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		ATE:   ate.ATE{Channels: 256, Depth: 48 << 10, ClockHz: 5e6},
+		Probe: ate.ProbeStation{IndexTime: 0.65, ContactTime: 0.1},
+	}
+	before, err := core.Optimize(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := core.Optimize(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Step1.Channels() >= before.Step1.Channels() {
+		t.Errorf("compression did not shrink k: %d vs %d",
+			after.Step1.Channels(), before.Step1.Channels())
+	}
+	if after.MaxSites <= before.MaxSites {
+		t.Errorf("compression did not raise multi-site: %d vs %d",
+			after.MaxSites, before.MaxSites)
+	}
+	if after.Best.Throughput <= before.Best.Throughput {
+		t.Errorf("compression did not raise throughput: %g vs %g",
+			after.Best.Throughput, before.Best.Throughput)
+	}
+}

@@ -1,0 +1,161 @@
+// Package vectors builds the ATE vector-memory image of a designed test
+// architecture: the per-channel-group program layout the paper's Figure 3
+// sketches when it talks about "fitting SOC test data on the target ATE
+// with as few channels as possible" and "minimizing the actual filling of
+// the vector memory". Downstream, this is the retargeting step that turns
+// per-module scan tests into tester channel programs; here it yields the
+// concrete utilization numbers (used, padded, and free vectors per
+// channel) that criterion 2 of Step 1 optimizes.
+package vectors
+
+import (
+	"fmt"
+
+	"multisite/internal/tam"
+)
+
+// Segment is one module's test occupying rows of a group's program.
+type Segment struct {
+	// Module is the index into the SOC's Modules slice.
+	Module int
+	// Start is the first vector row of the segment within its group.
+	Start int64
+	// Rows is the segment length in vectors (the module's wrapped test
+	// time at the group width).
+	Rows int64
+	// ActiveWires is the number of the group's wires the module's
+	// wrapper actually uses (chains ≤ width); the rest idle and are
+	// padding within the segment.
+	ActiveWires int
+}
+
+// GroupImage is the vector program of one channel group.
+type GroupImage struct {
+	// Group is the group index within the architecture.
+	Group int
+	// Wires is the group width.
+	Wires int
+	// Segments in test order.
+	Segments []Segment
+	// UsedRows is the occupied depth: Σ segment rows.
+	UsedRows int64
+	// FreeRows is Depth − UsedRows.
+	FreeRows int64
+	// PaddedWireRows counts wire·rows where a wire idles inside a
+	// segment because the module's wrapper uses fewer chains than the
+	// group has wires.
+	PaddedWireRows int64
+}
+
+// Image is the full ATE memory image of an architecture.
+type Image struct {
+	// Depth is the vector memory depth per channel.
+	Depth int64
+	// Groups are the per-group programs.
+	Groups []GroupImage
+}
+
+// Build lays out the architecture's test programs in vector memory.
+func Build(arch *tam.Architecture) (*Image, error) {
+	img := &Image{Depth: arch.Depth}
+	for gi, g := range arch.Groups {
+		gimg := GroupImage{Group: gi, Wires: g.Width}
+		var row int64
+		for i, mi := range g.Members {
+			d := arch.Designer.Fit(mi, g.Width)
+			rows := g.Times[i]
+			if rows != d.Time {
+				return nil, fmt.Errorf("vectors: group %d member %d: time %d != design %d",
+					gi, mi, rows, d.Time)
+			}
+			seg := Segment{
+				Module: mi, Start: row, Rows: rows,
+				ActiveWires: d.Chains,
+			}
+			gimg.PaddedWireRows += int64(g.Width-d.Chains) * rows
+			gimg.Segments = append(gimg.Segments, seg)
+			row += rows
+		}
+		gimg.UsedRows = row
+		gimg.FreeRows = arch.Depth - row
+		if gimg.FreeRows < 0 {
+			return nil, fmt.Errorf("vectors: group %d overflows depth: %d > %d",
+				gi, row, arch.Depth)
+		}
+		img.Groups = append(img.Groups, gimg)
+	}
+	return img, nil
+}
+
+// TotalWireRows returns the ATE memory capacity claimed by the
+// architecture, in wire·rows (wires × depth summed over groups).
+func (img *Image) TotalWireRows() int64 {
+	var n int64
+	for _, g := range img.Groups {
+		n += int64(g.Wires) * img.Depth
+	}
+	return n
+}
+
+// UsedWireRows returns the wire·rows carrying live test data: occupied
+// rows × wires, minus in-segment padding.
+func (img *Image) UsedWireRows() int64 {
+	var n int64
+	for _, g := range img.Groups {
+		n += int64(g.Wires)*g.UsedRows - g.PaddedWireRows
+	}
+	return n
+}
+
+// Utilization returns the fraction of claimed ATE memory carrying live
+// data — the quantity Step 1's criterion 2 (and the widening option rule)
+// implicitly maximizes.
+func (img *Image) Utilization() float64 {
+	total := img.TotalWireRows()
+	if total == 0 {
+		return 0
+	}
+	return float64(img.UsedWireRows()) / float64(total)
+}
+
+// MaxUsedRows returns the deepest group's occupied rows — the SOC test
+// length.
+func (img *Image) MaxUsedRows() int64 {
+	var n int64
+	for _, g := range img.Groups {
+		if g.UsedRows > n {
+			n = g.UsedRows
+		}
+	}
+	return n
+}
+
+// Validate cross-checks the image against its architecture.
+func (img *Image) Validate(arch *tam.Architecture) error {
+	if len(img.Groups) != len(arch.Groups) {
+		return fmt.Errorf("vectors: %d group images for %d groups", len(img.Groups), len(arch.Groups))
+	}
+	for gi, g := range img.Groups {
+		if g.UsedRows != arch.Groups[gi].Fill {
+			return fmt.Errorf("vectors: group %d used %d != fill %d",
+				gi, g.UsedRows, arch.Groups[gi].Fill)
+		}
+		var prevEnd int64
+		for si, seg := range g.Segments {
+			if seg.Start != prevEnd {
+				return fmt.Errorf("vectors: group %d segment %d starts at %d, want %d",
+					gi, si, seg.Start, prevEnd)
+			}
+			if seg.ActiveWires < 1 || seg.ActiveWires > g.Wires {
+				return fmt.Errorf("vectors: group %d segment %d: %d active wires of %d",
+					gi, si, seg.ActiveWires, g.Wires)
+			}
+			prevEnd = seg.Start + seg.Rows
+		}
+	}
+	if img.MaxUsedRows() != arch.TestCycles() {
+		return fmt.Errorf("vectors: max rows %d != test cycles %d",
+			img.MaxUsedRows(), arch.TestCycles())
+	}
+	return nil
+}

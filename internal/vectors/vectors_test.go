@@ -1,0 +1,125 @@
+package vectors
+
+import (
+	"testing"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/tam"
+)
+
+func arch(t *testing.T, depthK int64) *tam.Architecture {
+	t.Helper()
+	a, err := tam.DesignStep1(benchdata.Shared("d695"),
+		ate.ATE{Channels: 256, Depth: depthK * 1024, ClockHz: 5e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBuildValidates(t *testing.T) {
+	a := arch(t, 64)
+	img, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Validate(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsContiguousAndComplete(t *testing.T) {
+	a := arch(t, 64)
+	img, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for gi, g := range img.Groups {
+		var end int64
+		for _, seg := range g.Segments {
+			if seg.Start != end {
+				t.Errorf("group %d: gap before module %d", gi, seg.Module)
+			}
+			end = seg.Start + seg.Rows
+			if seen[seg.Module] {
+				t.Errorf("module %d imaged twice", seg.Module)
+			}
+			seen[seg.Module] = true
+		}
+		if end != g.UsedRows {
+			t.Errorf("group %d: segments end at %d, used %d", gi, end, g.UsedRows)
+		}
+	}
+	for _, mi := range a.SOC.TestableModules() {
+		if !seen[mi] {
+			t.Errorf("module %d missing from image", mi)
+		}
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	a := arch(t, 64)
+	img, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := img.Utilization()
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization %g outside (0,1]", u)
+	}
+	// Step 1 packs d695 tightly: well over half the claimed memory
+	// carries live data.
+	if u < 0.5 {
+		t.Errorf("utilization %g suspiciously low", u)
+	}
+	if img.UsedWireRows() > img.TotalWireRows() {
+		t.Error("used exceeds total")
+	}
+}
+
+func TestMaxUsedRowsEqualsTestCycles(t *testing.T) {
+	for _, depthK := range []int64{48, 96, 128} {
+		a := arch(t, depthK)
+		img, err := Build(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if img.MaxUsedRows() != a.TestCycles() {
+			t.Errorf("D=%dK: rows %d != cycles %d", depthK, img.MaxUsedRows(), a.TestCycles())
+		}
+	}
+}
+
+func TestWideningImprovesOrKeepsTestLengthAndImage(t *testing.T) {
+	a := arch(t, 48)
+	before, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Clone()
+	c.Widen(6)
+	after, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := after.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if after.MaxUsedRows() > before.MaxUsedRows() {
+		t.Error("widening deepened the image")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	a := arch(t, 64)
+	img, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Groups[0].UsedRows++
+	if err := img.Validate(a); err == nil {
+		t.Error("corrupted used rows accepted")
+	}
+}

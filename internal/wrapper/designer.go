@@ -1,0 +1,151 @@
+package wrapper
+
+import (
+	"sync"
+
+	"multisite/internal/soc"
+)
+
+// MaxTableWidth caps the per-module design table. No realistic ATE in the
+// paper's evaluation offers more than 1024 channels (512 TAM wires), so
+// designs are never queried beyond this width; times saturate at the cap.
+const MaxTableWidth = 512
+
+// Designer memoizes wrapper designs per module. Architecture optimization
+// (Step 1 fitting, Step 2 widening, baseline packing) queries module test
+// times at many widths; the Designer computes the per-chain-count design
+// table once per module and answers every width query from the prefix
+// minimum of that table.
+//
+// A Designer is safe for concurrent use.
+type Designer struct {
+	soc *soc.SOC
+	mu  sync.Mutex
+	// tables[i][c-1] is the design of module i with exactly c wrapper
+	// chains, for c in 1..min(MaxUsefulWidth, MaxTableWidth). Built
+	// lazily.
+	tables map[int][]Design
+	// prefixBest[i][c-1] is the index (chain count - 1) of the best
+	// design among chain counts 1..c.
+	prefixBest map[int][]int
+}
+
+// NewDesigner returns a Designer for the given SOC.
+func NewDesigner(s *soc.SOC) *Designer {
+	return &Designer{
+		soc:        s,
+		tables:     make(map[int][]Design),
+		prefixBest: make(map[int][]int),
+	}
+}
+
+// designers caches one Designer per SOC value so that repeated
+// architecture designs for the same chip (parameter sweeps, benchmarks)
+// reuse the wrapper-fit tables.
+var designers sync.Map // *soc.SOC -> *Designer
+
+// For returns the cached Designer for the SOC, creating it on first use.
+// The SOC must not be mutated after the first call.
+func For(s *soc.SOC) *Designer {
+	if d, ok := designers.Load(s); ok {
+		return d.(*Designer)
+	}
+	d, _ := designers.LoadOrStore(s, NewDesigner(s))
+	return d.(*Designer)
+}
+
+// SOC returns the SOC this designer was built for.
+func (d *Designer) SOC() *soc.SOC { return d.soc }
+
+func (d *Designer) table(mi int) ([]Design, []int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t, ok := d.tables[mi]; ok {
+		return t, d.prefixBest[mi]
+	}
+	m := &d.soc.Modules[mi]
+	cMax := MaxUsefulWidth(m)
+	if cMax > MaxTableWidth {
+		cMax = MaxTableWidth
+	}
+	t := make([]Design, cMax)
+	pb := make([]int, cMax)
+	lengths := m.SortedChainLengths()
+	for c := 1; c <= cMax; c++ {
+		if m.Patterns == 0 {
+			t[c-1] = Design{Width: c, Chains: 0, Time: 0}
+		} else {
+			t[c-1] = fitChains(m, lengths, c)
+			t[c-1].Width = c
+		}
+		if c == 1 || t[c-1].Time < t[pb[c-2]].Time {
+			pb[c-1] = c - 1
+		} else {
+			pb[c-1] = pb[c-2]
+		}
+	}
+	d.tables[mi] = t
+	d.prefixBest[mi] = pb
+	return t, pb
+}
+
+// Fit returns the best design for module index mi at TAM width w.
+// The returned design is shared; callers must not mutate its slices.
+func (d *Designer) Fit(mi, w int) Design {
+	if w < 1 {
+		panic("wrapper.Designer.Fit: width < 1")
+	}
+	t, pb := d.table(mi)
+	c := w
+	if c > len(t) {
+		c = len(t)
+	}
+	best := t[pb[c-1]]
+	best.Width = w
+	return best
+}
+
+// Time returns the test time in cycles of module mi at width w.
+func (d *Designer) Time(mi, w int) int64 {
+	return d.Fit(mi, w).Time
+}
+
+// MinWidth returns the smallest width w ≤ maxW such that module mi tests
+// within depth cycles, and whether such a width exists. Because Fit's time
+// is non-increasing in w, binary search applies.
+func (d *Designer) MinWidth(mi int, depth int64, maxW int) (int, bool) {
+	t, pb := d.table(mi)
+	top := len(t)
+	if top > maxW {
+		top = maxW
+	}
+	if top < 1 {
+		return 0, false
+	}
+	if t[pb[top-1]].Time > depth {
+		return 0, false
+	}
+	lo, hi := 1, top
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t[pb[mid-1]].Time <= depth {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, true
+}
+
+// MinTime returns the smallest achievable test time of module mi.
+func (d *Designer) MinTime(mi int) int64 {
+	t, pb := d.table(mi)
+	return t[pb[len(t)-1]].Time
+}
+
+// MaxWidthTable exposes the number of distinct useful chain counts of
+// module mi (i.e. MaxUsefulWidth of the module).
+func (d *Designer) MaxWidthTable(mi int) int {
+	t, _ := d.table(mi)
+	return len(t)
+}

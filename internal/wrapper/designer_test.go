@@ -1,0 +1,135 @@
+package wrapper
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"multisite/internal/soc"
+)
+
+func designerSOC() *soc.SOC {
+	return &soc.SOC{Name: "dsn", Modules: []soc.Module{
+		{ID: 0, Inputs: 4},
+		{ID: 1, Inputs: 32, Outputs: 32, Patterns: 12},
+		{ID: 2, Inputs: 35, Outputs: 2, Patterns: 75, ScanChains: soc.ChainsOfLengths(32)},
+		{ID: 3, Inputs: 36, Outputs: 39, Patterns: 105, ScanChains: soc.ChainsOfLengths(54, 53, 52, 52)},
+	}}
+}
+
+func TestDesignerMatchesFit(t *testing.T) {
+	s := designerSOC()
+	d := NewDesigner(s)
+	for mi := range s.Modules {
+		for w := 1; w <= 20; w++ {
+			want := Fit(&s.Modules[mi], w).Time
+			if got := d.Time(mi, w); got != want {
+				t.Errorf("module %d width %d: designer %d, Fit %d", mi, w, got, want)
+			}
+		}
+	}
+}
+
+func TestDesignerMinWidth(t *testing.T) {
+	s := designerSOC()
+	d := NewDesigner(s)
+	for _, mi := range s.TestableModules() {
+		for _, depth := range []int64{100, 1000, 5000, 100000} {
+			w, ok := d.MinWidth(mi, depth, 64)
+			// Reference: linear scan.
+			wantW, wantOK := 0, false
+			for x := 1; x <= 64; x++ {
+				if d.Time(mi, x) <= depth {
+					wantW, wantOK = x, true
+					break
+				}
+			}
+			if ok != wantOK || w != wantW {
+				t.Errorf("module %d depth %d: MinWidth = (%d,%v), want (%d,%v)",
+					mi, depth, w, ok, wantW, wantOK)
+			}
+		}
+	}
+}
+
+func TestDesignerMinWidthInfeasible(t *testing.T) {
+	s := designerSOC()
+	d := NewDesigner(s)
+	if _, ok := d.MinWidth(3, 1, 64); ok {
+		t.Error("depth 1 should be infeasible for a scanned module")
+	}
+	if _, ok := d.MinWidth(3, 1<<40, 0); ok {
+		t.Error("maxW=0 should be infeasible")
+	}
+}
+
+func TestDesignerMinTime(t *testing.T) {
+	s := designerSOC()
+	d := NewDesigner(s)
+	for _, mi := range s.TestableModules() {
+		if got, want := d.MinTime(mi), MinTime(&s.Modules[mi]); got != want {
+			t.Errorf("module %d: MinTime designer %d, direct %d", mi, got, want)
+		}
+	}
+}
+
+func TestDesignerFitSharesMemoizedDesigns(t *testing.T) {
+	s := designerSOC()
+	d := NewDesigner(s)
+	d1 := d.Fit(3, 8)
+	d2 := d.Fit(3, 8)
+	if d1.Time != d2.Time || d1.Chains != d2.Chains {
+		t.Errorf("repeated Fit differs: %+v vs %+v", d1, d2)
+	}
+	if err := d1.Validate(&s.Modules[3]); err != nil {
+		t.Errorf("memoized design invalid: %v", err)
+	}
+}
+
+func TestDesignerWidthCap(t *testing.T) {
+	s := designerSOC()
+	d := NewDesigner(s)
+	// Requests beyond the table cap must still answer (times saturate).
+	if got := d.Time(1, MaxTableWidth+100); got <= 0 {
+		t.Errorf("time at huge width = %d", got)
+	}
+}
+
+func TestDesignerConcurrent(t *testing.T) {
+	s := designerSOC()
+	d := NewDesigner(s)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				mi := 1 + rng.Intn(3)
+				w := 1 + rng.Intn(16)
+				want := Fit(&s.Modules[mi], w).Time
+				if got := d.Time(mi, w); got != want {
+					errs <- "mismatch under concurrency"
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestForCachesPerSOC(t *testing.T) {
+	s := designerSOC()
+	if For(s) != For(s) {
+		t.Error("For returned different designers for the same SOC")
+	}
+	other := designerSOC()
+	if For(s) == For(other) {
+		t.Error("For shared a designer across distinct SOC values")
+	}
+}
