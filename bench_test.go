@@ -10,18 +10,22 @@
 package multisite_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"multisite/internal/ate"
 	"multisite/internal/benchdata"
 	"multisite/internal/core"
+	"multisite/internal/engine"
 	"multisite/internal/exact"
 	"multisite/internal/experiments"
 	"multisite/internal/multisite"
 	"multisite/internal/report"
 	"multisite/internal/sim"
+	"multisite/internal/soc"
 	"multisite/internal/tam"
 	"multisite/internal/tap"
 	"multisite/internal/wafersim"
@@ -178,6 +182,156 @@ func BenchmarkMonteCarlo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := wafersim.Run(wafersim.Config{Params: p, Touchdowns: 1000, Seed: int64(i)}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---- sweep-engine benchmarks ----
+
+// familySweepJobs is the fleet-scale acceptance grid: every benchmark SOC
+// of the paper's Table 1 plus PNX8550, at its paper channel count, over
+// representative depths, with a contact-yield × re-test cost-model sweep.
+// 96 scenarios over 24 Step 1 design keys: the engine's memo re-scores
+// each design four times, and the designs themselves fan out across the
+// worker pool.
+func familySweepJobs() []engine.Job {
+	probe := ate.DefaultProbeStation()
+	pcs := []float64{1, 0.999, 0.998, 0.99}
+	grids := []engine.Grid{
+		{
+			SOCs:     []*soc.SOC{benchdata.Shared("d695")},
+			Channels: []int{256},
+			Depths:   []int64{48 * benchdata.Ki, 64 * benchdata.Ki, 96 * benchdata.Ki, 128 * benchdata.Ki},
+		},
+		{
+			SOCs:     []*soc.SOC{benchdata.Shared("p22810")},
+			Channels: []int{512},
+			Depths:   []int64{384 * benchdata.Ki, 512 * benchdata.Ki, 768 * benchdata.Ki, benchdata.Mi},
+		},
+		{
+			SOCs:     []*soc.SOC{benchdata.Shared("p34392")},
+			Channels: []int{512},
+			Depths:   []int64{768 * benchdata.Ki, benchdata.Mi, 1536 * benchdata.Ki, 2 * benchdata.Mi},
+		},
+		{
+			SOCs:     []*soc.SOC{benchdata.Shared("p93791")},
+			Channels: []int{512},
+			Depths:   []int64{benchdata.Mi, 2 * benchdata.Mi, 3 * benchdata.Mi, 3584 * benchdata.Ki},
+		},
+		{
+			SOCs:     []*soc.SOC{benchdata.Shared("pnx8550")},
+			Channels: []int{512},
+			Depths:   []int64{5 * benchdata.Mi, 6 * benchdata.Mi, 7 * benchdata.Mi, 8 * benchdata.Mi},
+		},
+	}
+	var jobs []engine.Job
+	for i := range grids {
+		grids[i].ClockHz = 5e6
+		grids[i].Probe = probe
+		grids[i].ContactYields = pcs
+		grids[i].Retest = []bool{true}
+		jobs = append(jobs, grids[i].Jobs()...)
+	}
+	return jobs
+}
+
+// warmFamilyTables builds every wrapper design table the family sweep
+// touches, once per process, so the sweep benchmarks compare steady-state
+// design cost rather than who pays the shared one-time table builds.
+var warmFamilyTables = sync.OnceFunc(func() {
+	for _, j := range familySweepJobs() {
+		if _, err := core.Optimize(j.SOC, j.Config); err != nil {
+			panic(err)
+		}
+	}
+})
+
+// BenchmarkSweepSerialNaive is the pre-engine baseline: the family grid
+// as a plain serial loop of full core.Optimize calls, one per scenario —
+// no worker pool, no design memoization.
+func BenchmarkSweepSerialNaive(b *testing.B) {
+	jobs := familySweepJobs()
+	warmFamilyTables()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			if _, err := core.Optimize(j.SOC, j.Config); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepEngine runs the same family grid on the sweep engine at
+// growing worker counts. Speedup over BenchmarkSweepSerialNaive comes from
+// two composing levers: the memo re-scores each Step 1 design across the
+// cost-model variants (~4x fewer designs on this grid, independent of
+// CPU count), and the remaining designs fan out across workers (near-
+// linear in GOMAXPROCS on multi-core hardware). Results are byte-identical
+// across all variants (TestEngineFamilySweepDeterministic).
+func BenchmarkSweepEngine(b *testing.B) {
+	jobs := familySweepJobs()
+	counts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			warmFamilyTables()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Fresh memo each iteration: benchmark the full sweep,
+				// not a cache replay.
+				results, err := engine.Run(context.Background(), jobs,
+					engine.Options{Workers: workers, Memo: engine.NewMemo()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for r := range results {
+					if results[r].Err != nil {
+						b.Fatal(results[r].Err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineFamilySweepDeterministic pins the acceptance contract of the
+// sweep engine on the full family grid: results are byte-identical across
+// worker counts.
+func TestEngineFamilySweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("family sweep is seconds-scale; skipped in -short")
+	}
+	jobs := familySweepJobs()
+	transcript := func(results []engine.JobResult) string {
+		var b []byte
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("job %s: %v", r.Job.Name, r.Err)
+			}
+			b = fmt.Appendf(b, "%s nmax=%d best=%+v\n", r.Job.Name, r.Design.MaxSites, r.Best)
+			for i := range r.Curve {
+				b = fmt.Appendf(b, " %+v %+v\n", r.Curve[i], r.Step1Curve[i])
+			}
+		}
+		return string(b)
+	}
+	var want string
+	for _, workers := range []int{1, 4} {
+		results, err := engine.Run(context.Background(), jobs,
+			engine.Options{Workers: workers, Memo: engine.NewMemo()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := transcript(results)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Errorf("workers=%d sweep differs from workers=1", workers)
 		}
 	}
 }

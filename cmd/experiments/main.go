@@ -8,6 +8,11 @@
 //	experiments fig5 table1     # a subset
 //	experiments -list
 //	experiments -csv fig6a      # machine-readable series
+//	experiments -workers 8      # bound the sweep-engine pool
+//
+// Every experiment fans its grid points across the internal/engine worker
+// pool; -workers bounds it (default GOMAXPROCS). Outputs are byte-identical
+// at any worker count.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"multisite/internal/engine"
 	"multisite/internal/experiments"
 	"multisite/internal/report"
 )
@@ -49,11 +55,16 @@ func notesOf(fig *report.Figure) []string {
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list available experiments")
-		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot = flag.Bool("plot", false, "render figures as ASCII charts as well")
+		list    = flag.Bool("list", false, "list available experiments")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot    = flag.Bool("plot", false, "render figures as ASCII charts as well")
+		workers = flag.Int("workers", 0, "sweep-engine worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	experiments.Workers = *workers
+	// One memo for the whole invocation: experiments sharing a design key
+	// (e.g. the PNX8550 base cell) optimize it once.
+	experiments.DesignMemo = engine.NewMemo()
 
 	figures := map[string]func() *report.Figure{
 		"fig5": experiments.Fig5, "fig6a": experiments.Fig6a, "fig6b": experiments.Fig6b,

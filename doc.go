@@ -7,5 +7,7 @@
 // The implementation lives under internal/ (see DESIGN.md for the system
 // inventory); cmd/ holds the executables, examples/ runnable walkthroughs,
 // and bench_test.go in this directory regenerates every table and figure
-// of the paper's evaluation.
+// of the paper's evaluation. Fleet-scale sweeps — SOC × ATE × cost-model
+// grids — run on the concurrent engine (internal/engine, README.md) with
+// results byte-identical at any worker count.
 package multisite

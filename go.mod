@@ -1,0 +1,3 @@
+module multisite
+
+go 1.24

@@ -77,3 +77,78 @@ func LoadSOC(benchmark, file string) (*soc.SOC, error) {
 		return nil, fmt.Errorf("specify a benchmark name or a .soc file")
 	}
 }
+
+// ParseSizeList parses a comma-separated list of sizes ("48K,64K,128K") or
+// a start:stop:step range ("5M:14M:1M", inclusive ends) into depths for a
+// sweep grid.
+func ParseSizeList(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad size range %q: want start:stop:step", s)
+		}
+		var v [3]int64
+		for i, p := range parts {
+			n, err := ParseSize(p)
+			if err != nil {
+				return nil, err
+			}
+			v[i] = n
+		}
+		start, stop, step := v[0], v[1], v[2]
+		if step <= 0 || start > stop {
+			return nil, fmt.Errorf("bad size range %q: need start <= stop and step > 0", s)
+		}
+		// Same inclusive expansion as engine.DepthRange, inlined so the
+		// flag-parsing layer does not depend on the sweep engine.
+		var out []int64
+		for d := start; d <= stop; d += step {
+			out = append(out, d)
+		}
+		return out, nil
+	}
+	var out []int64
+	for _, p := range strings.Split(s, ",") {
+		n, err := ParseSize(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseIntList parses a comma-separated list of integers ("256,512,1024").
+func ParseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %v", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// ParseFloatList parses a comma-separated list of floats ("1,0.999,0.99").
+func ParseFloatList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float list %q: %v", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -115,3 +115,65 @@ func TestBenchmarksAllLoadable(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSizeList(t *testing.T) {
+	got, err := ParseSizeList("48K, 64K,128K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{48 * benchdata.Ki, 64 * benchdata.Ki, 128 * benchdata.Ki}
+	if len(got) != len(want) {
+		t.Fatalf("ParseSizeList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ParseSizeList[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	got, err = ParseSizeList("5M:14M:3M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != 5*benchdata.Mi || got[3] != 14*benchdata.Mi {
+		t.Errorf("range ParseSizeList = %v", got)
+	}
+
+	if got, err = ParseSizeList(""); err != nil || got != nil {
+		t.Errorf("empty list = %v, %v", got, err)
+	}
+	for _, bad := range []string{"5M:14M", "14M:5M:1M", "5M:14M:0", "x,y"} {
+		if _, err := ParseSizeList(bad); err == nil {
+			t.Errorf("ParseSizeList(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("256, 512,1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 256 || got[2] != 1024 {
+		t.Errorf("ParseIntList = %v", got)
+	}
+	if _, err := ParseIntList("256,abc"); err == nil {
+		t.Error("expected error for non-integer")
+	}
+	if got, err := ParseIntList(""); err != nil || got != nil {
+		t.Errorf("empty list = %v, %v", got, err)
+	}
+}
+
+func TestParseFloatList(t *testing.T) {
+	got, err := ParseFloatList("1,0.999, 0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 0.999 {
+		t.Errorf("ParseFloatList = %v", got)
+	}
+	if _, err := ParseFloatList("1,,0.9"); err == nil {
+		t.Error("expected error for empty element")
+	}
+}

@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"multisite/internal/ate"
+	"multisite/internal/core"
+	"multisite/internal/soc"
+)
+
+// exampleSOC is a small three-core chip: enough structure for the two-step
+// algorithm to show a non-trivial throughput curve.
+func exampleSOC() *soc.SOC {
+	return &soc.SOC{Name: "example", Modules: []soc.Module{
+		{ID: 1, Name: "alu", Inputs: 64, Outputs: 32, Patterns: 1200},
+		{ID: 2, Name: "dsp", Inputs: 40, Outputs: 40, Patterns: 3000,
+			ScanChains: soc.UniformChains(8, 96)},
+		{ID: 3, Name: "uart", Inputs: 12, Outputs: 8, Patterns: 900,
+			ScanChains: soc.ChainsOfLengths(64, 60)},
+	}}
+}
+
+// ExampleOptimize designs the on-chip test infrastructure of a small SOC
+// for a 64-channel ATE and reports the optimal multi-site operating point.
+func ExampleOptimize() {
+	cfg := core.Config{
+		ATE:   ate.ATE{Channels: 64, Depth: 512 << 10, ClockHz: 10e6},
+		Probe: ate.ProbeStation{IndexTime: 0.5, ContactTime: 0.1},
+	}
+	res, err := core.Optimize(exampleSOC(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Step 1: k=%d channels, nmax=%d sites\n", res.Step1.Channels(), res.MaxSites)
+	fmt.Printf("Optimal: n=%d sites at k=%d channels/site, Dth=%.0f devices/hour\n",
+		res.Best.Sites, res.Best.Channels, res.Best.Throughput)
+	// Output:
+	// Step 1: k=16 channels, nmax=4 sites
+	// Optimal: n=4 sites at k=16 channels/site, Dth=22587 devices/hour
+}
+
+// ExampleResult_ReEvaluate re-scores an already-designed architecture
+// portfolio under a degraded contact yield with re-testing — the cheap
+// path a cost-model sweep takes instead of re-running the design.
+func ExampleResult_ReEvaluate() {
+	cfg := core.Config{
+		ATE:   ate.ATE{Channels: 64, Depth: 512 << 10, ClockHz: 10e6},
+		Probe: ate.ProbeStation{IndexTime: 0.5, ContactTime: 0.1},
+	}
+	res, err := core.Optimize(exampleSOC(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	degraded := cfg
+	degraded.ContactYield = 0.99
+	degraded.Retest = true
+	_, best := res.ReEvaluate(degraded)
+	fmt.Printf("pc=1:    n=%d, Du=%.0f unique devices/hour\n",
+		res.Best.Sites, res.Best.UniqueThroughput)
+	fmt.Printf("pc=0.99: n=%d, Du=%.0f unique devices/hour\n",
+		best.Sites, best.UniqueThroughput)
+	// Output:
+	// pc=1:    n=4, Du=22587 unique devices/hour
+	// pc=0.99: n=4, Du=19666 unique devices/hour
+}

@@ -211,13 +211,26 @@ func (cfg Config) EvaluateAt(arch *tam.Architecture, n int) SiteEval {
 // Step 1 alone when the usable site count is capped at maxN (the paper's
 // "34% more throughput at n = 10" claim for PNX8550 with broadcast).
 func (r *Result) GainOverStep1(maxN int) float64 {
+	return CurveGain(r.Step1Curve, r.Curve, maxN)
+}
+
+// CurveGain returns the relative gain of the best throughput on curve over
+// the best on base, considering at most the first maxN site counts of
+// either curve. A maxN beyond the curve lengths is clamped; a base curve
+// with no positive throughput yields 0 (not NaN), so degenerate sweeps
+// compare as "no gain".
+func CurveGain(base, curve []SiteEval, maxN int) float64 {
 	best1, best2 := 0.0, 0.0
-	for n := 1; n <= maxN && n <= r.MaxSites; n++ {
-		if t := r.Step1Curve[n-1].Throughput; t > best1 {
-			best1 = t
+	for n := 1; n <= maxN; n++ {
+		if n <= len(base) {
+			if t := base[n-1].Throughput; t > best1 {
+				best1 = t
+			}
 		}
-		if t := r.Curve[n-1].Throughput; t > best2 {
-			best2 = t
+		if n <= len(curve) {
+			if t := curve[n-1].Throughput; t > best2 {
+				best2 = t
+			}
 		}
 	}
 	if best1 == 0 {

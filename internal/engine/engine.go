@@ -1,0 +1,281 @@
+// Package engine is the concurrent sweep harness of the repository: it
+// fans core.Optimize / core.Result.ReEvaluate jobs across a bounded worker
+// pool and streams deterministic, order-stable results back to a reducer.
+//
+// The paper's two-step algorithm designs one SOC for one tester; a
+// production test floor asks fleet-scale questions — every SOC of a
+// family, across tester configurations, memory depths, broadcast on/off,
+// and cost-model variants (contact yield, manufacturing yield, abort,
+// re-test). The engine answers those grids as fast as the hardware
+// allows while keeping every output bit-identical to a serial run:
+//
+//   - Run executes a job list on a pool of Workers goroutines; results are
+//     returned (and delivered to the Progress callback) in job order, no
+//     matter which worker finishes first, so reducers and golden files
+//     never see scheduling nondeterminism.
+//   - Memo caches the expensive Step 1+2 architecture design keyed on
+//     (SOC, ATE, TAM options); jobs that differ only in cost-model fields
+//     re-score the cached design via Result.ReEvaluate, which is orders of
+//     magnitude cheaper than a fresh design.
+//   - Grid expands SOC × ATE × cost-model axes into a deterministic job
+//     list ordered so that design-key axes vary slowest, maximizing memo
+//     locality.
+//
+// Errors are captured per job: one infeasible grid point (an SOC that
+// cannot fit a single site) does not abort the sweep. Cancelling the
+// context stops feeding new jobs; already-running jobs finish and
+// unstarted jobs report the context error.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"multisite/internal/core"
+	"multisite/internal/soc"
+	"multisite/internal/tam"
+)
+
+// Job is one optimization task: design (or re-score) one SOC against one
+// tester and cost-model configuration.
+type Job struct {
+	// Name labels the job in progress output and result tables.
+	Name string
+	// SOC is the chip to optimize. Shared SOCs (benchdata.Shared) are
+	// safe: designs only read them.
+	SOC *soc.SOC
+	// Config is the full optimizer configuration, cost model included.
+	Config core.Config
+}
+
+// JobResult is the outcome of one job. Exactly one of Err or the result
+// fields is meaningful.
+type JobResult struct {
+	// Index is the job's position in the submitted slice.
+	Index int
+	// Job echoes the job.
+	Job Job
+	// Design is the architecture portfolio for the job's design key
+	// (SOC, ATE, TAM). When a Memo is in use it is shared across jobs;
+	// its embedded Curve/Best reflect the design-time cost model, so use
+	// the JobResult fields below, which are always scored under
+	// Job.Config.
+	Design *core.Result
+	// Curve[i] evaluates n = i+1 sites with channels redistributed per
+	// site count, under Job.Config.
+	Curve []core.SiteEval
+	// Step1Curve[i] evaluates n = i+1 sites with the Step 1 architecture
+	// unchanged, under Job.Config.
+	Step1Curve []core.SiteEval
+	// Best is the optimal evaluation under Job.Config's objective.
+	Best core.SiteEval
+	// Err is the job's failure, a context error if the sweep was
+	// cancelled before the job started, or nil.
+	Err error
+}
+
+// BestArch returns the redistributed architecture at Best.Sites, or nil
+// for a failed job.
+func (r *JobResult) BestArch() *tam.Architecture {
+	if r.Err != nil || r.Design == nil || r.Best.Sites == 0 {
+		return nil
+	}
+	return r.Design.Arches[r.Best.Sites-1]
+}
+
+// GainOverStep1 returns the job's Step 1+2 throughput gain over Step 1
+// alone with the site count capped at maxN, scored under Job.Config.
+func (r *JobResult) GainOverStep1(maxN int) float64 {
+	return core.CurveGain(r.Step1Curve, r.Curve, maxN)
+}
+
+// Progress reports one completed job. Callbacks are invoked in job order
+// (index 0, 1, 2, …) regardless of completion order, from whichever worker
+// goroutine happens to close each gap, one at a time.
+type Progress struct {
+	// Done is the number of jobs delivered so far, including this one.
+	Done int
+	// Total is the job count of the sweep.
+	Total int
+	// Result is the completed job.
+	Result JobResult
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Workers bounds the worker pool; 0 or negative means GOMAXPROCS.
+	Workers int
+	// Memo shares Step 1+2 designs across jobs (and across Runs, when
+	// the same Memo is passed to several). Nil uses a fresh per-Run memo,
+	// which still dedupes design keys within the run.
+	Memo *Memo
+	// Progress, when non-nil, receives each completed job in job order.
+	Progress func(Progress)
+}
+
+// Run executes the jobs on a bounded worker pool and returns one result
+// per job, in job order. Per-job failures are captured in JobResult.Err,
+// never returned as Run's error. The returned error is non-nil only when
+// ctx was cancelled, in which case unstarted jobs carry the context error
+// as their Err. Results are deterministic: for a given job list the
+// returned slice is identical for every worker count.
+func Run(ctx context.Context, jobs []Job, opts Options) ([]JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+	memo := opts.Memo
+	if memo == nil {
+		memo = NewMemo()
+	}
+
+	completed := make([]bool, len(jobs))
+	var mu sync.Mutex // guards completed[i] flips and ordered delivery
+	next := 0
+	deliver := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		completed[i] = true
+		for next < len(jobs) && completed[next] {
+			if opts.Progress != nil {
+				opts.Progress(Progress{Done: next + 1, Total: len(jobs), Result: results[next]})
+			}
+			next++
+		}
+	}
+
+	// The pool itself is Map's; Run adds job semantics on top (captured
+	// per-job errors in results, ordered Progress delivery). The worker
+	// function never returns an error, so Map's only possible error is
+	// the context's, handled below.
+	_, _ = Map(ctx, len(jobs), opts.Workers, func(ctx context.Context, i int) (struct{}, error) {
+		results[i] = runJob(ctx, i, jobs[i], memo)
+		deliver(i)
+		return struct{}{}, nil
+	})
+
+	if err := ctx.Err(); err != nil {
+		// Jobs the feeder never handed out: report the cancellation and
+		// flush them through the ordered delivery path, so the Progress
+		// stream still sees every job exactly once, in order.
+		for i := range jobs {
+			if !completed[i] {
+				results[i] = JobResult{Index: i, Job: jobs[i], Err: err}
+				deliver(i)
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// runJob executes one job, capturing errors and panics.
+func runJob(ctx context.Context, i int, j Job, memo *Memo) (r JobResult) {
+	r = JobResult{Index: i, Job: j}
+	defer func() {
+		if p := recover(); p != nil {
+			r.Err = fmt.Errorf("engine: job %d (%s): panic: %v", i, j.Name, p)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		r.Err = err
+		return r
+	}
+	if err := j.Config.ATE.Validate(); err != nil {
+		r.Err = err
+		return r
+	}
+	if err := j.Config.Probe.Validate(); err != nil {
+		r.Err = err
+		return r
+	}
+	design, err := memo.Design(j.SOC, j.Config)
+	if err != nil {
+		r.Err = err
+		return r
+	}
+	r.Design = design
+	r.Curve, r.Best = design.ReEvaluate(j.Config)
+	r.Step1Curve = make([]core.SiteEval, design.MaxSites)
+	for n := 1; n <= design.MaxSites; n++ {
+		r.Step1Curve[n-1] = j.Config.EvaluateAt(design.Step1, n)
+	}
+	return r
+}
+
+// Map runs fn over the indices 0..n-1 on a bounded worker pool and returns
+// the results in index order — the generic sibling of Run for experiment
+// rows that are not core.Optimize calls (baseline designs, exact solves,
+// family sweeps). Per-index errors are collected; the first error by index
+// is returned alongside the full result slice. A cancelled context leaves
+// unstarted indices at their zero value with the context error recorded.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	feed := make(chan int)
+	go func() {
+		defer close(feed)
+		for i := 0; i < n; i++ {
+			select {
+			case feed <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	started := make([]bool, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				started[i] = true
+				out[i], errs[i] = safeCall(ctx, i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			if !started[i] {
+				errs[i] = err
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func safeCall[T any](ctx context.Context, i int, fn func(context.Context, int) (T, error)) (out T, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("engine: map index %d: panic: %v", i, p)
+		}
+	}()
+	return fn(ctx, i)
+}

@@ -1,0 +1,340 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/core"
+	"multisite/internal/soc"
+)
+
+// testGrid is a small but representative sweep: one SOC, two depths, two
+// broadcast variants, three contact yields with re-testing — 12 jobs over
+// 4 design keys.
+func testGrid() Grid {
+	return Grid{
+		SOCs:          []*soc.SOC{benchdata.Shared("d695")},
+		Channels:      []int{256},
+		Depths:        []int64{48 * benchdata.Ki, 64 * benchdata.Ki},
+		ClockHz:       5e6,
+		Broadcast:     []bool{false, true},
+		Probe:         ate.DefaultProbeStation(),
+		ContactYields: []float64{1, 0.999, 0.99},
+		Retest:        []bool{true},
+	}
+}
+
+// render flattens results into a byte-comparable transcript.
+func render(results []JobResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "%d %s", r.Index, r.Job.Name)
+		if r.Err != nil {
+			fmt.Fprintf(&b, " err=%v\n", r.Err)
+			continue
+		}
+		fmt.Fprintf(&b, " nmax=%d best=%+v\n", r.Design.MaxSites, r.Best)
+		for i, e := range r.Curve {
+			fmt.Fprintf(&b, "  n=%d dth=%v du=%v s1=%v\n",
+				i+1, e.Throughput, e.UniqueThroughput, r.Step1Curve[i].Throughput)
+		}
+	}
+	return b.String()
+}
+
+// TestRunDeterministicAcrossWorkers is the engine's core contract: the
+// result stream is byte-identical for every worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	jobs := testGrid().Jobs()
+	if len(jobs) != 12 {
+		t.Fatalf("grid expanded to %d jobs, want 12", len(jobs))
+	}
+	var want string
+	for _, workers := range []int{1, 2, 4, 8, 32} {
+		results, err := Run(context.Background(), jobs, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := render(results)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d: results differ from workers=1:\n%s\n--- vs ---\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestRunMatchesSerialOptimize pins the memoized ReEvaluate path to the
+// plain core.Optimize path: same curves, same best, bit for bit.
+func TestRunMatchesSerialOptimize(t *testing.T) {
+	jobs := testGrid().Jobs()
+	results, err := Run(context.Background(), jobs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.Job.Name, r.Err)
+		}
+		res, err := core.Optimize(r.Job.SOC, r.Job.Config)
+		if err != nil {
+			t.Fatalf("serial %s: %v", r.Job.Name, err)
+		}
+		if len(r.Curve) != len(res.Curve) {
+			t.Fatalf("job %s: curve length %d, serial %d", r.Job.Name, len(r.Curve), len(res.Curve))
+		}
+		for i := range r.Curve {
+			if r.Curve[i] != res.Curve[i] {
+				t.Errorf("job %s n=%d: engine %+v, serial %+v", r.Job.Name, i+1, r.Curve[i], res.Curve[i])
+			}
+			if r.Step1Curve[i] != res.Step1Curve[i] {
+				t.Errorf("job %s n=%d: engine step1 %+v, serial %+v", r.Job.Name, i+1, r.Step1Curve[i], res.Step1Curve[i])
+			}
+		}
+		if r.Best != res.Best {
+			t.Errorf("job %s: engine best %+v, serial best %+v", r.Job.Name, r.Best, res.Best)
+		}
+	}
+}
+
+// TestMemoSharesDesigns checks that cost-model variants hit the cached
+// design: 12 jobs over 4 design keys must run exactly 4 optimizations.
+func TestMemoSharesDesigns(t *testing.T) {
+	memo := NewMemo()
+	jobs := testGrid().Jobs()
+	if _, err := Run(context.Background(), jobs, Options{Workers: 4, Memo: memo}); err != nil {
+		t.Fatal(err)
+	}
+	requests, misses := memo.Stats()
+	if requests != 12 || misses != 4 {
+		t.Errorf("memo stats: %d requests, %d misses; want 12, 4", requests, misses)
+	}
+	// A second run over the same memo designs nothing new.
+	if _, err := Run(context.Background(), jobs, Options{Workers: 2, Memo: memo}); err != nil {
+		t.Fatal(err)
+	}
+	requests, misses = memo.Stats()
+	if requests != 24 || misses != 4 {
+		t.Errorf("memo stats after rerun: %d requests, %d misses; want 24, 4", requests, misses)
+	}
+}
+
+// TestProgressOrdered checks that the progress stream is delivered in job
+// order with monotonically complete Done counts, at any worker count.
+func TestProgressOrdered(t *testing.T) {
+	jobs := testGrid().Jobs()
+	var mu sync.Mutex
+	var seen []int
+	_, err := Run(context.Background(), jobs, Options{
+		Workers: 8,
+		Progress: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			if p.Total != len(jobs) || p.Done != p.Result.Index+1 {
+				t.Errorf("progress %d/%d for index %d", p.Done, p.Total, p.Result.Index)
+			}
+			seen = append(seen, p.Result.Index)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("progress delivered %d of %d jobs", len(seen), len(jobs))
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("progress out of order at %d: %v", i, seen)
+		}
+	}
+}
+
+// TestPerJobErrorCapture: an infeasible job (SOC cannot fit one site)
+// reports its error without failing the sweep.
+func TestPerJobErrorCapture(t *testing.T) {
+	d695 := benchdata.Shared("d695")
+	jobs := []Job{
+		{Name: "infeasible", SOC: d695, Config: core.Config{
+			ATE:   ate.ATE{Channels: 2, Depth: 64 * benchdata.Ki, ClockHz: 5e6},
+			Probe: ate.DefaultProbeStation(),
+		}},
+		{Name: "bad-ate", SOC: d695, Config: core.Config{
+			ATE:   ate.ATE{Channels: 256, Depth: 0, ClockHz: 5e6},
+			Probe: ate.DefaultProbeStation(),
+		}},
+		{Name: "bad-probe", SOC: d695, Config: core.Config{
+			ATE:   ate.ATE{Channels: 256, Depth: 64 * benchdata.Ki, ClockHz: 5e6},
+			Probe: ate.ProbeStation{IndexTime: -1},
+		}},
+		{Name: "ok", SOC: d695, Config: core.Config{
+			ATE:   ate.ATE{Channels: 256, Depth: 64 * benchdata.Ki, ClockHz: 5e6},
+			Probe: ate.DefaultProbeStation(),
+		}},
+	}
+	results, err := Run(context.Background(), jobs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if results[i].Err == nil {
+			t.Errorf("job %s: expected error, got none", jobs[i].Name)
+		}
+	}
+	if results[3].Err != nil {
+		t.Errorf("job ok: unexpected error %v", results[3].Err)
+	}
+	if results[3].Best.Sites == 0 {
+		t.Errorf("job ok: no best evaluation")
+	}
+}
+
+// TestCancellation: a cancelled context stops the sweep; unstarted jobs
+// carry the context error and the progress stream still covers every job.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := testGrid().Jobs()
+	var mu sync.Mutex
+	delivered := 0
+	results, err := Run(ctx, jobs, Options{
+		Workers: 1,
+		Progress: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			delivered++
+			if p.Done == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if delivered != len(jobs) {
+		t.Errorf("progress covered %d of %d jobs", delivered, len(jobs))
+	}
+	cancelled := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no job reported the cancellation")
+	}
+}
+
+// TestMapOrderStable: Map returns results in index order whatever the
+// worker count.
+func TestMapOrderStable(t *testing.T) {
+	out, err := Map(context.Background(), 100, 8, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapError: the first error by index is returned; other results are
+// still populated.
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(context.Background(), 10, 4, func(_ context.Context, i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("index %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "index 3") {
+		t.Fatalf("err = %v, want first-by-index boom", err)
+	}
+	if out[9] != 9 {
+		t.Fatalf("out[9] = %d, want 9", out[9])
+	}
+}
+
+// TestMapPanicCapture: a panicking index becomes an error, not a crash.
+func TestMapPanicCapture(t *testing.T) {
+	_, err := Map(context.Background(), 4, 2, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want captured panic", err)
+	}
+}
+
+// TestGridNamesUniqueAndStable: expansion order and names are fixed.
+func TestGridNamesUniqueAndStable(t *testing.T) {
+	jobs := testGrid().Jobs()
+	if got := testGrid().Size(); got != len(jobs) {
+		t.Fatalf("Size() = %d, Jobs() = %d", got, len(jobs))
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.Name] {
+			t.Errorf("duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+	}
+	// Design-key axes must vary slower than cost-model axes.
+	want := []string{
+		"d695/D48K/nobc/pc1",
+		"d695/D48K/nobc/pc0.999",
+		"d695/D48K/nobc/pc0.99",
+		"d695/D48K/bc/pc1",
+	}
+	for i, name := range want {
+		if jobs[i].Name != name {
+			t.Errorf("jobs[%d].Name = %q, want %q", i, jobs[i].Name, name)
+		}
+	}
+}
+
+// TestRunEmptyJobs: no jobs is a no-op, not a hang.
+func TestRunEmptyJobs(t *testing.T) {
+	results, err := Run(context.Background(), nil, Options{Workers: 4})
+	if err != nil || len(results) != 0 {
+		t.Fatalf("Run(nil) = %v, %v", results, err)
+	}
+}
+
+func TestFormatDepth(t *testing.T) {
+	cases := map[int64]string{
+		7 * benchdata.Mi:  "7M",
+		48 * benchdata.Ki: "48K",
+		1000:              "1000",
+		benchdata.Mi + 1:  fmt.Sprint(benchdata.Mi + 1),
+	}
+	for in, want := range cases {
+		if got := FormatDepth(in); got != want {
+			t.Errorf("FormatDepth(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRanges(t *testing.T) {
+	if got := IntRange(512, 1024, 256); len(got) != 3 || got[2] != 1024 {
+		t.Errorf("IntRange = %v", got)
+	}
+	if got := DepthRange(5, 14, 3); len(got) != 4 || got[3] != 14 {
+		t.Errorf("DepthRange = %v", got)
+	}
+	if got := IntRange(10, 1, 1); got != nil {
+		t.Errorf("IntRange inverted = %v", got)
+	}
+}

@@ -1,0 +1,50 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/engine"
+	"multisite/internal/soc"
+)
+
+// ExampleRun sweeps the d695 benchmark over two memory depths and three
+// contact yields on the concurrent engine. The six scenarios share two
+// Step 1 designs through the memo, and the results stream back in grid
+// order whatever the worker count.
+func ExampleRun() {
+	grid := engine.Grid{
+		SOCs:          []*soc.SOC{benchdata.Shared("d695")},
+		Channels:      []int{256},
+		Depths:        []int64{64 * benchdata.Ki, 128 * benchdata.Ki},
+		ClockHz:       5e6,
+		Probe:         ate.DefaultProbeStation(),
+		ContactYields: []float64{1, 0.999, 0.99},
+		Retest:        []bool{true},
+	}
+	memo := engine.NewMemo()
+	results, err := engine.Run(context.Background(), grid.Jobs(),
+		engine.Options{Workers: 4, Memo: memo})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		fmt.Printf("%-18s n=%2d Du=%.0f\n", r.Job.Name, r.Best.Sites, r.Best.UniqueThroughput)
+	}
+	requests, misses := memo.Stats()
+	fmt.Printf("%d scenarios, %d Step 1 designs\n", requests, misses)
+	// Output:
+	// d695/D64K/pc1      n=11 Du=51904
+	// d695/D64K/pc0.999  n=11 Du=50798
+	// d695/D64K/pc0.99   n=11 Du=43312
+	// d695/D128K/pc1     n=21 Du=97402
+	// d695/D128K/pc0.999 n=21 Du=96254
+	// d695/D128K/pc0.99  n=21 Du=87465
+	// 6 scenarios, 2 Step 1 designs
+}

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"multisite/internal/ate"
+	"multisite/internal/core"
+	"multisite/internal/soc"
+	"multisite/internal/tam"
+)
+
+// Grid describes a SOC × ATE × cost-model sweep. Jobs expands it into the
+// full cartesian product with a deterministic order: SOCs vary slowest,
+// then Channels, Depths, Broadcast and TAM (the design-key axes), then the
+// cost-model axes (ContactYields, Yields, AbortOnFail, Retest) fastest —
+// so consecutive jobs share a design key and a Memo turns the cost-model
+// inner loops into cheap re-scores.
+type Grid struct {
+	// SOCs, Channels, and Depths are the required axes; an empty one
+	// yields no jobs.
+	SOCs     []*soc.SOC
+	Channels []int
+	Depths   []int64
+	// ClockHz is the test clock shared by every grid point.
+	ClockHz float64
+	// Broadcast lists the stimuli-broadcast variants; empty means
+	// {false}.
+	Broadcast []bool
+	// Probe is the probe station shared by every grid point.
+	Probe ate.ProbeStation
+	// ControlPins is passed through to every configuration.
+	ControlPins int
+	// TAM lists Step 1 design variants; empty means the default options.
+	TAM []tam.Options
+	// ContactYields and Yields list the pc / pm cost-model variants;
+	// empty means {1}.
+	ContactYields []float64
+	Yields        []float64
+	// AbortOnFail and Retest list the Section 5 cost-model variants;
+	// empty means {false}.
+	AbortOnFail []bool
+	Retest      []bool
+}
+
+// Size returns the number of jobs Jobs will generate.
+func (g Grid) Size() int {
+	n := len(g.SOCs) * len(g.Channels) * len(g.Depths)
+	for _, a := range []int{
+		len(g.Broadcast), len(g.TAM), len(g.ContactYields),
+		len(g.Yields), len(g.AbortOnFail), len(g.Retest),
+	} {
+		if a > 1 {
+			n *= a
+		}
+	}
+	return n
+}
+
+// Jobs expands the grid. Job names concatenate the SOC name with every
+// axis that actually varies (len > 1), so names are unique within the
+// grid and stable across runs.
+func (g Grid) Jobs() []Job {
+	broadcast := orBools(g.Broadcast)
+	tams := g.TAM
+	if len(tams) == 0 {
+		tams = []tam.Options{{}}
+	}
+	pcs := orFloats(g.ContactYields)
+	pms := orFloats(g.Yields)
+	aborts := orBools(g.AbortOnFail)
+	retests := orBools(g.Retest)
+
+	jobs := make([]Job, 0, g.Size())
+	for _, s := range g.SOCs {
+		for _, ch := range g.Channels {
+			for _, depth := range g.Depths {
+				for _, bc := range broadcast {
+					for ti, topt := range tams {
+						for _, pc := range pcs {
+							for _, pm := range pms {
+								for _, abort := range aborts {
+									for _, retest := range retests {
+										var parts []string
+										parts = append(parts, s.Name)
+										if len(g.Channels) > 1 {
+											parts = append(parts, fmt.Sprintf("N%d", ch))
+										}
+										if len(g.Depths) > 1 {
+											parts = append(parts, "D"+FormatDepth(depth))
+										}
+										if len(broadcast) > 1 {
+											parts = append(parts, boolPart(bc, "bc", "nobc"))
+										}
+										if len(tams) > 1 {
+											parts = append(parts, fmt.Sprintf("tam%d", ti))
+										}
+										if len(pcs) > 1 {
+											parts = append(parts, fmt.Sprintf("pc%g", pc))
+										}
+										if len(pms) > 1 {
+											parts = append(parts, fmt.Sprintf("pm%g", pm))
+										}
+										if len(aborts) > 1 {
+											parts = append(parts, boolPart(abort, "abort", "noabort"))
+										}
+										if len(retests) > 1 {
+											parts = append(parts, boolPart(retest, "retest", "noretest"))
+										}
+										jobs = append(jobs, Job{
+											Name: strings.Join(parts, "/"),
+											SOC:  s,
+											Config: core.Config{
+												ATE: ate.ATE{
+													Channels:  ch,
+													Depth:     depth,
+													ClockHz:   g.ClockHz,
+													Broadcast: bc,
+												},
+												Probe:        g.Probe,
+												ContactYield: pc,
+												Yield:        pm,
+												AbortOnFail:  abort,
+												Retest:       retest,
+												ControlPins:  g.ControlPins,
+												TAM:          topt,
+											},
+										})
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+func orBools(v []bool) []bool {
+	if len(v) == 0 {
+		return []bool{false}
+	}
+	return v
+}
+
+func orFloats(v []float64) []float64 {
+	if len(v) == 0 {
+		return []float64{1}
+	}
+	return v
+}
+
+func boolPart(v bool, yes, no string) string {
+	if v {
+		return yes
+	}
+	return no
+}
+
+// FormatDepth renders a vector-memory depth in the paper's style: exact
+// multiples of M = 2^20 or K = 2^10 use the suffix, everything else is a
+// raw vector count.
+func FormatDepth(v int64) string {
+	const ki, mi = int64(1) << 10, int64(1) << 20
+	switch {
+	case v >= mi && v%mi == 0:
+		return fmt.Sprintf("%dM", v/mi)
+	case v >= ki && v%ki == 0:
+		return fmt.Sprintf("%dK", v/ki)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// DepthRange returns the inclusive arithmetic sequence start, start+step,
+// … ≤ stop — a convenience for depth-sweep grids.
+func DepthRange(start, stop, step int64) []int64 {
+	if step <= 0 || start > stop {
+		return nil
+	}
+	var out []int64
+	for d := start; d <= stop; d += step {
+		out = append(out, d)
+	}
+	return out
+}
+
+// IntRange returns the inclusive arithmetic sequence start, start+step,
+// … ≤ stop — a convenience for channel-sweep grids.
+func IntRange(start, stop, step int) []int {
+	if step <= 0 || start > stop {
+		return nil
+	}
+	var out []int
+	for v := start; v <= stop; v += step {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"multisite/internal/ate"
+	"multisite/internal/core"
+	"multisite/internal/soc"
+	"multisite/internal/tam"
+)
+
+// designKey identifies everything the Step 1+2 architecture design depends
+// on. Cost-model fields (probe timing, yields, abort, re-test, control
+// pins) deliberately do not appear: they only affect scoring, which
+// Result.ReEvaluate recomputes per job.
+type designKey struct {
+	soc *soc.SOC
+	ate ate.ATE
+	tam tam.Options
+}
+
+// memoEntry computes its design exactly once, even when many workers
+// request the same key concurrently.
+type memoEntry struct {
+	once sync.Once
+	res  *core.Result
+	err  error
+}
+
+// Memo caches Step 1+2 architecture designs keyed on (SOC, ATE, TAM
+// options). The design is the expensive part of a job — wrapper fitting,
+// the greedy channel-group search, the squeeze portfolio — while re-scoring
+// a cached design under a different cost model is a few float operations
+// per site count. A grid sweep over y yield variants of the same tester
+// therefore pays for one design, not y.
+//
+// SOC identity is pointer identity: use the memoized benchdata.Shared
+// chips (or any stable *soc.SOC) for sweeps. A Memo is safe for concurrent
+// use and may be shared across Runs to memoize a whole session.
+type Memo struct {
+	entries  sync.Map // designKey -> *memoEntry
+	requests atomic.Int64
+	misses   atomic.Int64
+}
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo { return &Memo{} }
+
+// designConfig is the canonical configuration a key's design is computed
+// under: cost-model fields zeroed, so the cached core.Result is identical
+// no matter which job populated the entry.
+func designConfig(cfg core.Config) core.Config {
+	return core.Config{ATE: cfg.ATE, TAM: cfg.TAM}
+}
+
+// Design returns the architecture portfolio for the configuration's design
+// key, computing it at most once per key. The returned Result is shared:
+// callers must treat it as read-only and re-score it via ReEvaluate (the
+// embedded Curve/Best reflect the canonical design-time cost model, not
+// any particular job's).
+func (m *Memo) Design(s *soc.SOC, cfg core.Config) (*core.Result, error) {
+	m.requests.Add(1)
+	key := designKey{soc: s, ate: cfg.ATE, tam: cfg.TAM}
+	v, ok := m.entries.Load(key)
+	if !ok {
+		v, _ = m.entries.LoadOrStore(key, &memoEntry{})
+	}
+	e := v.(*memoEntry)
+	e.once.Do(func() {
+		m.misses.Add(1)
+		e.res, e.err = core.Optimize(s, designConfig(cfg))
+	})
+	return e.res, e.err
+}
+
+// Stats reports the memo's request and design counts: hits = requests −
+// misses. A sweep of j jobs over d distinct design keys reports j requests
+// and d misses once it completes.
+func (m *Memo) Stats() (requests, misses int64) {
+	return m.requests.Load(), m.misses.Load()
+}

@@ -3,15 +3,21 @@
 // DESIGN.md. Each experiment returns a report.Figure or report.Table whose
 // rows mirror the series the paper plots; EXPERIMENTS.md records the
 // paper-vs-measured comparison.
+//
+// All experiments run on the internal/engine sweep harness: grid points
+// fan out across a bounded worker pool (see Workers) and reduce in job
+// order, so regenerated artifacts are byte-identical at any parallelism.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"multisite/internal/ate"
 	"multisite/internal/baseline"
 	"multisite/internal/benchdata"
 	"multisite/internal/core"
+	"multisite/internal/engine"
 	"multisite/internal/report"
 	"multisite/internal/soc"
 	"multisite/internal/tam"
@@ -30,6 +36,19 @@ const (
 // BaseDepth is 7 M vectors.
 var BaseDepth = 7 * benchdata.Mi
 
+// Workers bounds the sweep-engine worker pool every experiment fans out
+// on; 0 means GOMAXPROCS. cmd/experiments exposes it as -workers. Results
+// are byte-identical at any setting.
+var Workers int
+
+// DesignMemo, when non-nil, shares Step 1 designs across experiments:
+// several artifacts optimize the same (SOC, ATE, TAM) key (the PNX8550
+// base cell appears in Fig5, Fig6a/b, Fig7a, CostTrade, ext-cost,
+// ext-flow), so a session-long memo designs it once. cmd/experiments sets
+// it; the benchmarks leave it nil so each regeneration pays its full,
+// comparable cost. Memoization does not change any output bit.
+var DesignMemo *engine.Memo
+
 // PNXConfig builds the standard configuration around the PNX8550
 // experiments: given channel count, depth, and broadcast capability, with
 // ti = 0.65 s and tc = 0.1 s (see DESIGN.md §4 on these constants).
@@ -40,12 +59,36 @@ func PNXConfig(channels int, depth int64, broadcast bool) core.Config {
 	}
 }
 
-func mustOptimize(s *soc.SOC, cfg core.Config) *core.Result {
-	res, err := core.Optimize(s, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: optimize %s: %v", s.Name, err))
+// run fans the jobs across the sweep engine and panics on the first
+// failed job: experiment grids are known-feasible by construction, so a
+// failure is a programming error, as it was for the old serial harness.
+func run(jobs []engine.Job) []engine.JobResult {
+	results, _ := engine.Run(context.Background(), jobs,
+		engine.Options{Workers: Workers, Memo: DesignMemo})
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			panic(fmt.Sprintf("experiments: job %s: %v", results[i].Job.Name, err))
+		}
 	}
-	return res
+	return results
+}
+
+// optimizeJob runs a single optimization through the engine.
+func optimizeJob(name string, s *soc.SOC, cfg core.Config) engine.JobResult {
+	return run([]engine.Job{{Name: name, SOC: s, Config: cfg}})[0]
+}
+
+// rows computes n experiment rows on the engine's bounded pool, in row
+// order. The row function must handle its own infeasible cases (the
+// experiments render those as "-" cells); only panics propagate.
+func rows[T any](n int, fn func(i int) T) []T {
+	out, err := engine.Map(context.Background(), n, Workers, func(_ context.Context, i int) (T, error) {
+		return fn(i), nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return out
 }
 
 // Fig5 reproduces Figure 5: throughput versus number of sites for the
@@ -60,16 +103,19 @@ func Fig5() *report.Figure {
 		XLabel: "n",
 		YLabel: "Dth (devices/hour)",
 	}
-	noBC := mustOptimize(pnx, PNXConfig(BaseChannels, BaseDepth, false))
-	bc := mustOptimize(pnx, PNXConfig(BaseChannels, BaseDepth, true))
+	res := run([]engine.Job{
+		{Name: "pnx8550/nobc", SOC: pnx, Config: PNXConfig(BaseChannels, BaseDepth, false)},
+		{Name: "pnx8550/bc", SOC: pnx, Config: PNXConfig(BaseChannels, BaseDepth, true)},
+	})
+	noBC, bc := &res[0], &res[1]
 
 	s1 := &report.Series{Name: "Step1+2, no broadcast"}
-	for n := 1; n <= noBC.MaxSites; n++ {
+	for n := 1; n <= noBC.Design.MaxSites; n++ {
 		s1.Add(float64(n), noBC.Curve[n-1].Throughput)
 	}
 	s2 := &report.Series{Name: "Step1+2, broadcast"}
 	s3 := &report.Series{Name: "Step1 only, broadcast"}
-	for n := 1; n <= bc.MaxSites; n++ {
+	for n := 1; n <= bc.Design.MaxSites; n++ {
 		s2.Add(float64(n), bc.Curve[n-1].Throughput)
 		s3.Add(float64(n), bc.Step1Curve[n-1].Throughput)
 	}
@@ -78,8 +124,8 @@ func Fig5() *report.Figure {
 	capN := 8
 	gain := bc.GainOverStep1(capN)
 	figNote(fig, fmt.Sprintf("no broadcast: nmax=%d nopt=%d Dth=%.0f; broadcast: nmax=%d nopt=%d Dth=%.0f",
-		noBC.MaxSites, noBC.Best.Sites, noBC.Best.Throughput,
-		bc.MaxSites, bc.Best.Sites, bc.Best.Throughput))
+		noBC.Design.MaxSites, noBC.Best.Sites, noBC.Best.Throughput,
+		bc.Design.MaxSites, bc.Best.Sites, bc.Best.Throughput))
 	figNote(fig, fmt.Sprintf("Step1+2 gain over Step1-only with multi-site capped at n=%d: %.0f%% (paper: 34%%)",
 		capN, 100*gain))
 	return fig
@@ -109,10 +155,16 @@ func Fig6a() *report.Figure {
 		XLabel: "N channels",
 		YLabel: "Dth",
 	}
+	g := engine.Grid{
+		SOCs:     []*soc.SOC{pnx},
+		Channels: engine.IntRange(512, 1024, 64),
+		Depths:   []int64{BaseDepth},
+		ClockHz:  BaseClock,
+		Probe:    ate.DefaultProbeStation(),
+	}
 	s := &report.Series{Name: "Dth (devices/hour)"}
-	for n := 512; n <= 1024; n += 64 {
-		res := mustOptimize(pnx, PNXConfig(n, BaseDepth, false))
-		s.Add(float64(n), res.Best.Throughput)
+	for _, r := range run(g.Jobs()) {
+		s.Add(float64(r.Job.Config.ATE.Channels), r.Best.Throughput)
 	}
 	fig.Series = []*report.Series{s}
 	first, last := s.Y[0], s.Y[len(s.Y)-1]
@@ -132,10 +184,16 @@ func Fig6b() *report.Figure {
 		XLabel: "depth (M)",
 		YLabel: "Dth",
 	}
+	g := engine.Grid{
+		SOCs:     []*soc.SOC{pnx},
+		Channels: []int{BaseChannels},
+		Depths:   engine.DepthRange(5*benchdata.Mi, 14*benchdata.Mi, benchdata.Mi),
+		ClockHz:  BaseClock,
+		Probe:    ate.DefaultProbeStation(),
+	}
 	s := &report.Series{Name: "Dth (devices/hour)"}
-	for m := int64(5); m <= 14; m++ {
-		res := mustOptimize(pnx, PNXConfig(BaseChannels, m*benchdata.Mi, false))
-		s.Add(float64(m), res.Best.Throughput)
+	for _, r := range run(g.Jobs()) {
+		s.Add(float64(r.Job.Config.ATE.Depth/benchdata.Mi), r.Best.Throughput)
 	}
 	fig.Series = []*report.Series{s}
 	var d7, d14 float64
@@ -158,18 +216,21 @@ func Fig6b() *report.Figure {
 func CostTrade() *report.Table {
 	pnx := benchdata.Shared("pnx8550")
 	prices := ate.DefaultPriceModel()
-	base := mustOptimize(pnx, PNXConfig(BaseChannels, BaseDepth, false))
-
 	budget := prices.DoubleDepthCostUSD(ate.ATE{Channels: BaseChannels, Depth: BaseDepth, ClockHz: BaseClock})
-	deeper := mustOptimize(pnx, PNXConfig(BaseChannels, 2*BaseDepth, false))
 	extraCh := prices.ChannelsForBudgetUSD(budget)
-	wider := mustOptimize(pnx, PNXConfig(BaseChannels+extraCh, BaseDepth, false))
+
+	res := run([]engine.Job{
+		{Name: "base", SOC: pnx, Config: PNXConfig(BaseChannels, BaseDepth, false)},
+		{Name: "deeper", SOC: pnx, Config: PNXConfig(BaseChannels, 2*BaseDepth, false)},
+		{Name: "wider", SOC: pnx, Config: PNXConfig(BaseChannels+extraCh, BaseDepth, false)},
+	})
+	base, deeper, wider := &res[0], &res[1], &res[2]
 
 	t := &report.Table{
 		Title:  "Section 7 cost trade-off: memory depth vs channels (pnx8550)",
 		Header: []string{"upgrade", "cost (USD)", "N", "D", "n_opt", "Dth", "gain"},
 	}
-	row := func(name string, cost float64, r *core.Result, chs int, depth int64) {
+	row := func(name string, cost float64, r *engine.JobResult, chs int, depth int64) {
 		gain := r.Best.Throughput/base.Best.Throughput - 1
 		t.AddRow(name, int(cost), chs, fmt.Sprintf("%dM", depth/benchdata.Mi),
 			r.Best.Sites, r.Best.Throughput, fmt.Sprintf("%+.0f%%", 100*gain))
@@ -185,7 +246,9 @@ func CostTrade() *report.Table {
 // Fig7a reproduces Figure 7(a): unique throughput versus vector memory
 // depth for contact yields pc ∈ {1, .9999, .9998, .999, .998, .99}, with
 // re-testing of contact failures. Deeper memory means fewer contacted
-// channels per device, hence a lower re-test rate.
+// channels per device, hence a lower re-test rate. The grid runs 60 jobs
+// over 10 design keys: the engine memo designs each depth once and
+// re-scores it per contact yield.
 func Fig7a() *report.Figure {
 	pnx := benchdata.Shared("pnx8550")
 	fig := &report.Figure{
@@ -198,15 +261,18 @@ func Fig7a() *report.Figure {
 	for i, pc := range yields {
 		series[i] = &report.Series{Name: fmt.Sprintf("pc=%g", pc)}
 	}
-	for m := int64(5); m <= 14; m++ {
-		res := mustOptimize(pnx, PNXConfig(BaseChannels, m*benchdata.Mi, false))
-		for i, pc := range yields {
-			cfg := res.Config
-			cfg.ContactYield = pc
-			cfg.Retest = true
-			_, best := res.ReEvaluate(cfg)
-			series[i].Add(float64(m), best.UniqueThroughput)
-		}
+	g := engine.Grid{
+		SOCs:          []*soc.SOC{pnx},
+		Channels:      []int{BaseChannels},
+		Depths:        engine.DepthRange(5*benchdata.Mi, 14*benchdata.Mi, benchdata.Mi),
+		ClockHz:       BaseClock,
+		Probe:         ate.DefaultProbeStation(),
+		ContactYields: yields,
+		Retest:        []bool{true},
+	}
+	// Grid order: depth varies slower than contact yield.
+	for i, r := range run(g.Jobs()) {
+		series[i%len(yields)].Add(float64(r.Job.Config.ATE.Depth/benchdata.Mi), r.Best.UniqueThroughput)
 	}
 	fig.Series = series
 	figNote(fig, "paper: the penalty of low contact yield shrinks as memory deepens (fewer contacted pins)")
@@ -220,8 +286,8 @@ func Fig7a() *report.Figure {
 // surely keeps passing, so the full test always runs.
 func Fig7b() *report.Figure {
 	pnx := benchdata.Shared("pnx8550")
-	res := mustOptimize(pnx, PNXConfig(BaseChannels, BaseDepth, false))
-	tm := res.Step1.TestCycles()
+	res := optimizeJob("pnx8550", pnx, PNXConfig(BaseChannels, BaseDepth, false))
+	tm := res.Design.Step1.TestCycles()
 	tmSec := float64(tm) / BaseClock
 	fig := &report.Figure{
 		Title:  "Fig. 7(b): abort-on-fail test time vs sites (pnx8550, tm full = " + fmt.Sprintf("%.3fs", tmSec) + ")",
@@ -232,10 +298,10 @@ func Fig7b() *report.Figure {
 	for _, pm := range yields {
 		s := &report.Series{Name: fmt.Sprintf("pm=%g", pm)}
 		for n := 1; n <= 8; n++ {
-			cfg := res.Config
+			cfg := res.Job.Config
 			cfg.Yield = pm
 			cfg.AbortOnFail = true
-			s.Add(float64(n), effectiveManufTime(cfg, res.Step1, n))
+			s.Add(float64(n), effectiveManufTime(cfg, res.Design.Step1, n))
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -266,18 +332,11 @@ type Table1SOC struct {
 // channel ATE, the three Philips chips on 512 channels, with the paper's
 // depth sweeps (K = 2^10, M = 2^20 vectors).
 func Table1SOCs() []Table1SOC {
-	depths := func(start, step int64, n int) []int64 {
-		out := make([]int64, n)
-		for i := range out {
-			out[i] = start + int64(i)*step
-		}
-		return out
-	}
 	return []Table1SOC{
-		{Name: "d695", Channels: 256, Depths: depths(48*benchdata.Ki, 8*benchdata.Ki, 11)},
-		{Name: "p22810", Channels: 512, Depths: depths(384*benchdata.Ki, 64*benchdata.Ki, 11)},
-		{Name: "p34392", Channels: 512, Depths: depths(768*benchdata.Ki, 128*benchdata.Ki, 11)},
-		{Name: "p93791", Channels: 512, Depths: depths(1024*benchdata.Ki, 256*benchdata.Ki, 11)},
+		{Name: "d695", Channels: 256, Depths: engine.DepthRange(48*benchdata.Ki, 128*benchdata.Ki, 8*benchdata.Ki)},
+		{Name: "p22810", Channels: 512, Depths: engine.DepthRange(384*benchdata.Ki, 1024*benchdata.Ki, 64*benchdata.Ki)},
+		{Name: "p34392", Channels: 512, Depths: engine.DepthRange(768*benchdata.Ki, 2048*benchdata.Ki, 128*benchdata.Ki)},
+		{Name: "p93791", Channels: 512, Depths: engine.DepthRange(1024*benchdata.Ki, 3584*benchdata.Ki, 256*benchdata.Ki)},
 	}
 }
 
@@ -293,34 +352,45 @@ func DepthLabel(d int64) string {
 // theoretical lower bound on the channel count, the rectangle bin-packing
 // baseline of [7], and our Step 1 — channels k and maximum multi-site
 // nmax, under stimuli broadcast (the comparison basis the paper uses).
+// The 44 rows are independent designs and fan out across the engine pool.
 func Table1() *report.Table {
 	t := &report.Table{
 		Title:  "Table 1: maximum multi-site, rectangle bin-packing [7] vs our Step 1 (broadcast)",
 		Header: []string{"SOC", "depth", "LB k", "[7] k", "us k", "[7] nmax", "us nmax"},
 	}
+	type point struct {
+		soc   Table1SOC
+		depth int64
+	}
+	var points []point
 	for _, cfgSOC := range Table1SOCs() {
-		s := benchdata.Shared(cfgSOC.Name)
 		for _, depth := range cfgSOC.Depths {
-			target := ate.ATE{Channels: cfgSOC.Channels, Depth: depth, ClockHz: BaseClock, Broadcast: true}
-			lb, ok := baseline.LowerBoundChannels(s, target)
-			if !ok {
-				t.AddRow(cfgSOC.Name, DepthLabel(depth), "-", "-", "-", "-", "-")
-				continue
-			}
-			pk, errB := baseline.Design(s, target)
-			arch, errU := tam.DesignStep1(s, target)
-			baseK, baseN := "-", "-"
-			if errB == nil {
-				baseK = fmt.Sprint(pk.Channels())
-				baseN = fmt.Sprint(target.MaxSites(pk.Channels()))
-			}
-			usK, usN := "-", "-"
-			if errU == nil {
-				usK = fmt.Sprint(arch.Channels())
-				usN = fmt.Sprint(target.MaxSites(arch.Channels()))
-			}
-			t.AddRow(cfgSOC.Name, DepthLabel(depth), lb, baseK, usK, baseN, usN)
+			points = append(points, point{cfgSOC, depth})
 		}
+	}
+	for _, cells := range rows(len(points), func(i int) []interface{} {
+		cfgSOC, depth := points[i].soc, points[i].depth
+		s := benchdata.Shared(cfgSOC.Name)
+		target := ate.ATE{Channels: cfgSOC.Channels, Depth: depth, ClockHz: BaseClock, Broadcast: true}
+		lb, ok := baseline.LowerBoundChannels(s, target)
+		if !ok {
+			return []interface{}{cfgSOC.Name, DepthLabel(depth), "-", "-", "-", "-", "-"}
+		}
+		pk, errB := baseline.Design(s, target)
+		arch, errU := tam.DesignStep1(s, target)
+		baseK, baseN := "-", "-"
+		if errB == nil {
+			baseK = fmt.Sprint(pk.Channels())
+			baseN = fmt.Sprint(target.MaxSites(pk.Channels()))
+		}
+		usK, usN := "-", "-"
+		if errU == nil {
+			usK = fmt.Sprint(arch.Channels())
+			usN = fmt.Sprint(target.MaxSites(arch.Channels()))
+		}
+		return []interface{}{cfgSOC.Name, DepthLabel(depth), lb, baseK, usK, baseN, usN}
+	}) {
+		t.AddRow(cells...)
 	}
 	t.Notes = append(t.Notes,
 		"d695 uses the literature module data; p-chips are calibrated synthetics (DESIGN.md §4)",
@@ -347,7 +417,8 @@ func AblationOptionRule() *report.Table {
 		{"p93791", 512, 2 * benchdata.Mi},
 		{"pnx8550", 512, 7 * benchdata.Mi},
 	}
-	for _, c := range cases {
+	for _, row := range rows(len(cases), func(i int) []interface{} {
+		c := cases[i]
 		s := benchdata.Shared(c.name)
 		target := ate.ATE{Channels: c.n, Depth: c.depth, ClockHz: BaseClock}
 		row := []interface{}{c.name, DepthLabel(c.depth)}
@@ -359,6 +430,8 @@ func AblationOptionRule() *report.Table {
 			}
 			row = append(row, arch.Channels(), arch.TestCycles()/1000)
 		}
+		return row
+	}) {
 		t.AddRow(row...)
 	}
 	return t
@@ -373,15 +446,19 @@ func AblationWrapper() *report.Table {
 		Header: []string{"width", "COMBINE", "plain LPT", "LPT penalty"},
 	}
 	s := benchdata.Shared("d695")
-	for _, w := range []int{2, 4, 8, 12, 16, 24, 32} {
+	widths := []int{2, 4, 8, 12, 16, 24, 32}
+	for _, row := range rows(len(widths), func(i int) []interface{} {
+		w := widths[i]
 		var combine, lpt int64
 		for _, mi := range s.TestableModules() {
 			m := &s.Modules[mi]
 			combine += wrapper.Fit(m, w).Time
 			lpt += wrapper.FitExact(m, w).Time
 		}
-		t.AddRow(w, combine/1000, lpt/1000,
-			fmt.Sprintf("%+.1f%%", 100*(float64(lpt)/float64(combine)-1)))
+		return []interface{}{w, combine / 1000, lpt / 1000,
+			fmt.Sprintf("%+.1f%%", 100*(float64(lpt)/float64(combine)-1))}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"finding: with balanced chains, plain LPT at maximal chain count already matches COMBINE's search")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"multisite/internal/ate"
@@ -8,6 +9,7 @@ import (
 	"multisite/internal/benchdata"
 	"multisite/internal/core"
 	"multisite/internal/econ"
+	"multisite/internal/engine"
 	"multisite/internal/exact"
 	"multisite/internal/finaltest"
 	"multisite/internal/ieee1500"
@@ -26,7 +28,7 @@ import (
 func ExtCostPerDevice() *report.Table {
 	pnx := benchdata.Shared("pnx8550")
 	cfg := PNXConfig(BaseChannels, BaseDepth, false)
-	res := mustOptimize(pnx, cfg)
+	res := optimizeJob("pnx8550", pnx, cfg)
 	cell := econ.CellForATE(cfg.ATE, ate.DefaultPriceModel())
 
 	t := &report.Table{
@@ -34,7 +36,7 @@ func ExtCostPerDevice() *report.Table {
 		Header: []string{"n", "Dth (dev/h)", "USD/device", "vs n=1"},
 	}
 	base := cell.CostPerDevice(res.Curve[0].Throughput)
-	for n := 1; n <= res.MaxSites; n++ {
+	for n := 1; n <= res.Design.MaxSites; n++ {
 		d := res.Curve[n-1].Throughput
 		c := cell.CostPerDevice(d)
 		t.AddRow(n, d, fmt.Sprintf("%.4f", c), fmt.Sprintf("x%.2f", c/base))
@@ -47,28 +49,31 @@ func ExtCostPerDevice() *report.Table {
 }
 
 // ExtExactGap validates the Step 1 heuristic against the exact
-// branch-and-bound optimum on d695 (extension ext-exact).
+// branch-and-bound optimum on d695 (extension ext-exact). The per-depth
+// solves are independent and fan out across the engine pool — the
+// branch-and-bound rows dominate this table's cost.
 func ExtExactGap() *report.Table {
 	t := &report.Table{
 		Title:  "Extension: Step 1 heuristic vs exact optimum (d695)",
 		Header: []string{"depth", "LB k", "exact k", "heuristic k", "gap", "partitions"},
 	}
 	s := benchdata.Shared("d695")
-	for _, depthK := range []int64{48, 56, 64, 72, 80, 96, 112, 128} {
-		target := ate.ATE{Channels: 256, Depth: depthK * benchdata.Ki, ClockHz: BaseClock}
+	depthsK := []int64{48, 56, 64, 72, 80, 96, 112, 128}
+	for _, row := range rows(len(depthsK), func(i int) []interface{} {
+		target := ate.ATE{Channels: 256, Depth: depthsK[i] * benchdata.Ki, ClockHz: BaseClock}
 		sol, err := exact.Solve(s, target)
 		if err != nil {
-			t.AddRow(DepthLabel(target.Depth), "-", "-", "-", "-", "-")
-			continue
+			return []interface{}{DepthLabel(target.Depth), "-", "-", "-", "-", "-"}
 		}
 		arch, err := tam.DesignStep1(s, target)
 		if err != nil {
-			t.AddRow(DepthLabel(target.Depth), "-", sol.Channels(), "-", "-", sol.Visited)
-			continue
+			return []interface{}{DepthLabel(target.Depth), "-", sol.Channels(), "-", "-", sol.Visited}
 		}
 		lb, _ := baseline.LowerBoundChannels(s, target)
-		t.AddRow(DepthLabel(target.Depth), lb, sol.Channels(), arch.Channels(),
-			exact.Gap(arch.Wires(), sol), sol.Visited)
+		return []interface{}{DepthLabel(target.Depth), lb, sol.Channels(), arch.Channels(),
+			exact.Gap(arch.Wires(), sol), sol.Visited}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "gap is in TAM wires; 0 means the greedy Step 1 is provably optimal")
 	return t
@@ -91,17 +96,19 @@ func ExtControlOverhead() *report.Table {
 		{"p93791", 512, 2 * benchdata.Mi},
 		{"pnx8550", 512, 7 * benchdata.Mi},
 	}
-	for _, c := range cases {
+	for _, row := range rows(len(cases), func(i int) []interface{} {
+		c := cases[i]
 		s := benchdata.Shared(c.name)
 		arch, err := tam.DesignStep1(s, ate.ATE{Channels: c.n, Depth: c.depth, ClockHz: BaseClock})
 		if err != nil {
-			t.AddRow(c.name, "-", "-", "-", "-", "-")
-			continue
+			return []interface{}{c.name, "-", "-", "-", "-", "-"}
 		}
 		cc := ieee1500.ForArchitecture(arch)
 		over := ieee1500.ScheduleOverhead(arch)
-		t.AddRow(c.name, len(cc.Wrappers), cc.WIRChainBits(), over, arch.TestCycles(),
-			fmt.Sprintf("%.4f%%", 100*ieee1500.OverheadFraction(arch)))
+		return []interface{}{c.name, len(cc.Wrappers), cc.WIRChainBits(), over, arch.TestCycles(),
+			fmt.Sprintf("%.4f%%", 100*ieee1500.OverheadFraction(arch))}
+	}) {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("TAP session setup from reset costs %d TCK cycles (IR=8, 2 instructions, 64 config bits)",
@@ -128,20 +135,27 @@ func ExtSchedulingGain() *report.Table {
 		{"p22810", 512, 512 * benchdata.Ki},
 		{"pnx8550", 512, 7 * benchdata.Mi},
 	}
-	for _, c := range cases {
+	for _, caseRows := range rows(len(cases), func(i int) [][]interface{} {
+		c := cases[i]
 		s := benchdata.Shared(c.name)
 		arch, err := tam.DesignStep1(s, ate.ATE{Channels: c.n, Depth: c.depth, ClockHz: BaseClock})
 		if err != nil {
-			continue
+			return nil
 		}
+		var out [][]interface{}
 		for _, yield := range []float64{0.9, 0.7, 0.5} {
 			y := sched.VolumeWeightedYield(arch, yield)
 			before := sched.ExpectedCycles(arch, y)
 			clone := arch.Clone()
 			sched.Reorder(clone, y)
 			after := sched.ExpectedCycles(clone, y)
-			t.AddRow(c.name, yield, before, after,
-				fmt.Sprintf("%.1f%%", 100*(before-after)/before))
+			out = append(out, []interface{}{c.name, yield, before, after,
+				fmt.Sprintf("%.1f%%", 100*(before-after)/before)})
+		}
+		return out
+	}) {
+		for _, row := range caseRows {
+			t.AddRow(row...)
 		}
 	}
 	t.Notes = append(t.Notes,
@@ -158,7 +172,7 @@ func ExtSchedulingGain() *report.Table {
 func ExtTestFlow() *report.Table {
 	pnx := benchdata.Shared("pnx8550")
 	cfg := PNXConfig(BaseChannels, BaseDepth, false)
-	res := mustOptimize(pnx, cfg)
+	res := optimizeJob("pnx8550", pnx, cfg)
 
 	ft := finaltest.Config{
 		ATE:              cfg.ATE,
@@ -200,14 +214,15 @@ func ExtFamilySweep() *report.Table {
 		Title:  "Extension: channel staircase across the extended ITC'02 family (N=512, broadcast)",
 		Header: []string{"SOC", "modules", "area (Ki wire-cyc)", "k @A/8", "k @A/4", "k @A/2", "k @A"},
 	}
-	for _, name := range benchdata.FamilyNames() {
-		s := benchdata.Shared(name)
+	names := benchdata.FamilyNames()
+	for _, row := range rows(len(names), func(i int) []interface{} {
+		s := benchdata.Shared(names[i])
 		d := wrapper.For(s)
 		var area int64
 		for _, mi := range s.TestableModules() {
 			area += pareto.MinArea(d, mi, 256)
 		}
-		row := []interface{}{name, len(s.TestableModules()), area / benchdata.Ki}
+		row := []interface{}{names[i], len(s.TestableModules()), area / benchdata.Ki}
 		for _, div := range []int64{8, 4, 2, 1} {
 			depth := area / div
 			if depth < 1 {
@@ -221,6 +236,8 @@ func ExtFamilySweep() *report.Table {
 			}
 			row = append(row, arch.Channels())
 		}
+		return row
+	}) {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
@@ -233,7 +250,8 @@ func ExtFamilySweep() *report.Table {
 // ExtTDC makes the paper's "orthogonal to TDC" remark quantitative:
 // compress the d695 tests at growing EDT-style ratios and re-run the
 // optimizer — compression shrinks k, which multiplies the multi-site,
-// which multiplies the throughput (extension ext-tdc).
+// which multiplies the throughput (extension ext-tdc). Infeasible ratios
+// degrade to "-" rows via the engine's per-job error capture.
 func ExtTDC() *report.Table {
 	t := &report.Table{
 		Title:  "Extension: test data compression x multi-site (d695, N=256, D=48K)",
@@ -241,8 +259,9 @@ func ExtTDC() *report.Table {
 	}
 	s := benchdata.Shared("d695")
 	cfg := PNXConfig(256, 48*benchdata.Ki, false)
-	var base float64
-	for _, ratio := range []float64{1, 2, 5, 10, 20} {
+	ratios := []float64{1, 2, 5, 10, 20}
+	jobs := make([]engine.Job, len(ratios))
+	for i, ratio := range ratios {
 		chip := s
 		if ratio > 1 {
 			var err error
@@ -251,18 +270,24 @@ func ExtTDC() *report.Table {
 				panic(err)
 			}
 		}
-		res, err := core.Optimize(chip, cfg)
-		if err != nil {
+		jobs[i] = engine.Job{Name: fmt.Sprintf("d695/%gx", ratio), SOC: chip, Config: cfg}
+	}
+	results, _ := engine.Run(context.Background(), jobs,
+		engine.Options{Workers: Workers, Memo: DesignMemo})
+	var base float64
+	for i, r := range results {
+		ratio := ratios[i]
+		if r.Err != nil {
 			t.AddRow(fmt.Sprintf("%gx", ratio), "-", "-", "-", "-", "-", "-")
 			continue
 		}
-		red := tdc.VolumeReduction(s, chip)
+		red := tdc.VolumeReduction(s, r.Job.SOC)
 		if base == 0 {
-			base = res.Best.Throughput
+			base = r.Best.Throughput
 		}
 		t.AddRow(fmt.Sprintf("%gx", ratio), fmt.Sprintf("%.1fx", red),
-			res.Step1.Channels(), res.MaxSites, res.Best.Sites,
-			res.Best.Throughput, fmt.Sprintf("x%.2f", res.Best.Throughput/base))
+			r.Design.Step1.Channels(), r.Design.MaxSites, r.Best.Sites,
+			r.Best.Throughput, fmt.Sprintf("x%.2f", r.Best.Throughput/base))
 	}
 	t.Notes = append(t.Notes,
 		"TDC divides pattern counts (memories excluded); Step 1 converts the freed depth into fewer channels",

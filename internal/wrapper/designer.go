@@ -17,26 +17,31 @@ const MaxTableWidth = 512
 // table once per module and answers every width query from the prefix
 // minimum of that table.
 //
-// A Designer is safe for concurrent use.
+// A Designer is safe for concurrent use: queries on an already-built
+// module table are lock-free, so parallel architecture optimizations of
+// the same SOC (the sweep engine's common case) do not contend.
 type Designer struct {
 	soc *soc.SOC
-	mu  sync.Mutex
-	// tables[i][c-1] is the design of module i with exactly c wrapper
-	// chains, for c in 1..min(MaxUsefulWidth, MaxTableWidth). Built
-	// lazily.
-	tables map[int][]Design
-	// prefixBest[i][c-1] is the index (chain count - 1) of the best
-	// design among chain counts 1..c.
-	prefixBest map[int][]int
+	// mu serializes table builds only; lookups go through the sync.Map.
+	mu sync.Mutex
+	// tables maps a module index to its immutable *moduleTable, built
+	// lazily on first query.
+	tables sync.Map
+}
+
+// moduleTable is the per-module design table; immutable once published.
+type moduleTable struct {
+	// designs[c-1] is the design of the module with exactly c wrapper
+	// chains, for c in 1..min(MaxUsefulWidth, MaxTableWidth).
+	designs []Design
+	// prefixBest[c-1] is the index (chain count - 1) of the best design
+	// among chain counts 1..c.
+	prefixBest []int
 }
 
 // NewDesigner returns a Designer for the given SOC.
 func NewDesigner(s *soc.SOC) *Designer {
-	return &Designer{
-		soc:        s,
-		tables:     make(map[int][]Design),
-		prefixBest: make(map[int][]int),
-	}
+	return &Designer{soc: s}
 }
 
 // designers caches one Designer per SOC value so that repeated
@@ -58,10 +63,15 @@ func For(s *soc.SOC) *Designer {
 func (d *Designer) SOC() *soc.SOC { return d.soc }
 
 func (d *Designer) table(mi int) ([]Design, []int) {
+	if v, ok := d.tables.Load(mi); ok {
+		t := v.(*moduleTable)
+		return t.designs, t.prefixBest
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if t, ok := d.tables[mi]; ok {
-		return t, d.prefixBest[mi]
+	if v, ok := d.tables.Load(mi); ok {
+		t := v.(*moduleTable)
+		return t.designs, t.prefixBest
 	}
 	m := &d.soc.Modules[mi]
 	cMax := MaxUsefulWidth(m)
@@ -84,8 +94,7 @@ func (d *Designer) table(mi int) ([]Design, []int) {
 			pb[c-1] = pb[c-2]
 		}
 	}
-	d.tables[mi] = t
-	d.prefixBest[mi] = pb
+	d.tables.Store(mi, &moduleTable{designs: t, prefixBest: pb})
 	return t, pb
 }
 
