@@ -9,6 +9,7 @@
 //	experiments -list
 //	experiments -csv fig6a      # machine-readable series
 //	experiments -workers 8      # bound the sweep-engine pool
+//	experiments -cpuprofile cpu.pprof -memprofile mem.pprof table1
 //
 // Every experiment fans its grid points across the internal/engine worker
 // pool; -workers bounds it (default GOMAXPROCS). Outputs are byte-identical
@@ -22,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"multisite/internal/cli"
 	"multisite/internal/engine"
 	"multisite/internal/experiments"
 	"multisite/internal/report"
@@ -55,12 +57,33 @@ func notesOf(fig *report.Figure) []string {
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot    = flag.Bool("plot", false, "render figures as ASCII charts as well")
-		workers = flag.Int("workers", 0, "sweep-engine worker pool size (0 = GOMAXPROCS)")
+		list       = flag.Bool("list", false, "list available experiments")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot       = flag.Bool("plot", false, "render figures as ASCII charts as well")
+		workers    = flag.Int("workers", 0, "sweep-engine worker pool size (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	// die flushes the profiles before exiting, so error paths still
+	// produce readable profile files; the defer covers normal returns
+	// (os.Exit skips defers, so the two never both run).
+	die := func(code int) {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+		os.Exit(code)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+	}()
 	experiments.Workers = *workers
 	// One memo for the whole invocation: experiments sharing a design key
 	// (e.g. the PNX8550 base cell) optimize it once.
@@ -112,7 +135,7 @@ func main() {
 		exp, ok := catalog[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", name)
-			os.Exit(2)
+			die(2)
 		}
 		if i > 0 {
 			fmt.Println()
@@ -121,11 +144,11 @@ func main() {
 		if *csv {
 			if err := t.WriteCSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				die(1)
 			}
 		} else if err := t.Write(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			die(1)
 		}
 		if *plot {
 			if f, ok := figures[name]; ok {

@@ -20,6 +20,7 @@
 //	    -sweep-contact-yields 1,0.999,0.99 -retest -workers 8
 //	multisite -soc d695 -channels 256 -sweep-depths 48K,64K,128K \
 //	    -broadcast-both -progress
+//	multisite -soc pnx8550 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -64,8 +65,20 @@ func main() {
 		bcBoth        = flag.Bool("broadcast-both", false, "sweep both broadcast variants")
 		workers       = flag.Int("workers", 0, "sweep-engine worker pool size (0 = GOMAXPROCS)")
 		progress      = flag.Bool("progress", false, "report sweep progress on stderr")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stop, err := cli.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "multisite:", err)
+		}
+	}()
 
 	s, err := cli.LoadSOC(*socName, *file)
 	if err != nil {
@@ -281,7 +294,15 @@ func runSweep(grid engine.Grid, workers int, progress bool) error {
 	return tbl.Write(os.Stdout)
 }
 
+// stopProfiles flushes any active -cpuprofile/-memprofile; fatal calls it
+// so failed runs — the ones most worth profiling — still yield readable
+// profile files. A no-op until main installs the real stopper.
+var stopProfiles = func() error { return nil }
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "multisite:", err)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "multisite:", err)
+	}
 	os.Exit(1)
 }

@@ -134,12 +134,15 @@ func Design(s *soc.SOC, target ate.ATE) (*Packing, error) {
 func tryPack(d *wrapper.Designer, s *soc.SOC, wires int, depth int64) *Packing {
 	modules := s.TestableModules()
 	// Pack larger modules first: decreasing minimum area, the classic
-	// bin-packing order of [7].
+	// bin-packing order of [7]. Areas are computed once per module, not
+	// once per sort comparison.
+	area := make(map[int]int64, len(modules))
+	for _, mi := range modules {
+		area[mi] = pareto.MinArea(d, mi, wires)
+	}
 	sort.SliceStable(modules, func(a, b int) bool {
-		aa := pareto.MinArea(d, modules[a], wires)
-		ab := pareto.MinArea(d, modules[b], wires)
-		if aa != ab {
-			return aa > ab
+		if area[modules[a]] != area[modules[b]] {
+			return area[modules[a]] > area[modules[b]]
 		}
 		return modules[a] < modules[b]
 	})

@@ -7,6 +7,8 @@ package cli
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -151,4 +153,52 @@ func ParseFloatList(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// StartProfiles starts a CPU profile and/or arranges a heap profile for a
+// command run (the -cpuprofile/-memprofile flags of cmd/experiments and
+// cmd/multisite). Empty paths disable the respective profile. The returned
+// stop function must run before the process exits — typically deferred in
+// main — to flush the CPU profile and write the heap snapshot.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile, memFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	if memPath != "" {
+		// Created eagerly so an unwritable path fails the run up front,
+		// not after the profiled work has already been paid for.
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile == nil {
+			return nil
+		}
+		runtime.GC() // materialize recent allocations in the heap profile
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			memFile.Close()
+			return err
+		}
+		return memFile.Close()
+	}, nil
 }

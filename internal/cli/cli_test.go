@@ -177,3 +177,47 @@ func TestParseFloatList(t *testing.T) {
 		t.Error("expected error for empty element")
 	}
 }
+
+func TestStartProfilesWritesBothFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesDisabled(t *testing.T) {
+	stop, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("no-op stop failed: %v", err)
+	}
+}
+
+func TestStartProfilesBadPath(t *testing.T) {
+	if _, err := StartProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), ""); err == nil {
+		t.Error("unwritable CPU profile path accepted")
+	}
+}
+
+func TestStartProfilesBadMemPathFailsEagerly(t *testing.T) {
+	if _, err := StartProfiles("", filepath.Join(t.TempDir(), "no", "such", "dir", "m")); err == nil {
+		t.Error("unwritable heap profile path accepted at start")
+	}
+}

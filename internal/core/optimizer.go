@@ -98,8 +98,10 @@ type Result struct {
 	Best SiteEval
 	// BestArch is the redistributed architecture at Best.Sites.
 	BestArch *tam.Architecture
-	// Arches[i] is the redistributed architecture at n = i+1 sites
-	// (shared with Step1 where no redistribution was possible).
+	// Arches[i] is the redistributed architecture at n = i+1 sites.
+	// Entries are shared: with Step1 where no redistribution was
+	// possible, and across site counts whose widening budgets produce
+	// the same architecture. Treat them as read-only.
 	Arches []*tam.Architecture
 }
 
@@ -123,29 +125,64 @@ func Optimize(s *soc.SOC, cfg Config) (*Result, error) {
 	res := &Result{SOC: s, Config: cfg, Step1: step1, MaxSites: nmax}
 	res.Curve = make([]SiteEval, nmax)
 	res.Step1Curve = make([]SiteEval, nmax)
-	res.Arches = make([]*tam.Architecture, nmax)
+	res.Arches = step2Arches(cfg.ATE, step1, nmax)
 
 	for n := nmax; n >= 1; n-- {
 		// Step 1-only line: same architecture at every site count.
 		res.Step1Curve[n-1] = cfg.evaluate(step1, n)
-
-		// Step 2: redistribute freed channels over the n sites.
-		arch := step1
-		budget := cfg.ATE.MaxWiresPerSite(n) - step1.Wires()
-		if budget > 0 {
-			arch = step1.Clone()
-			arch.Widen(budget)
-		}
-		res.Arches[n-1] = arch
-		res.Curve[n-1] = cfg.evaluate(arch, n)
+		res.Curve[n-1] = cfg.evaluate(res.Arches[n-1], n)
 
 		better := res.Curve[n-1].score(cfg) > res.Best.score(cfg)
 		if res.BestArch == nil || better {
 			res.Best = res.Curve[n-1]
-			res.BestArch = arch
+			res.BestArch = res.Arches[n-1]
 		}
 	}
 	return res, nil
+}
+
+// step2Arches builds the Step 2 architecture per site count: at each n the
+// channels freed by giving up sites are redistributed over the remaining
+// sites by widening the maximally-filled channel group first. Arches[n-1]
+// is the architecture at n sites (shared with step1 where no redistribution
+// was possible).
+//
+// The widening budget grows monotonically as n decreases, and Widen is a
+// deterministic, memoryless greedy — widening to budget b and then
+// continuing to b' > b lands in exactly the state widening to b' from
+// scratch would. The whole curve is therefore one widening sequence: a
+// single running architecture advances from each site count's budget to
+// the next and is snapshot-cloned per n, turning the curve from
+// O(nmax·budget) widening moves into O(max budget). Site counts whose
+// budget adds no moves (equal budgets, or a saturated architecture) share
+// one snapshot.
+func step2Arches(target ate.ATE, step1 *tam.Architecture, nmax int) []*tam.Architecture {
+	arches := make([]*tam.Architecture, nmax)
+	var running, snapshot *tam.Architecture
+	applied, saturated := 0, false
+	for n := nmax; n >= 1; n-- {
+		budget := target.MaxWiresPerSite(n) - step1.Wires()
+		if budget <= 0 {
+			arches[n-1] = step1
+			continue
+		}
+		if running == nil {
+			running = step1.Clone()
+		}
+		prev := applied
+		for applied < budget && !saturated {
+			if running.WidenOnce() {
+				applied++
+			} else {
+				saturated = true
+			}
+		}
+		if snapshot == nil || applied != prev {
+			snapshot = running.Clone()
+		}
+		arches[n-1] = snapshot
+	}
+	return arches
 }
 
 // ReEvaluate re-scores the already-designed per-site-count architectures

@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"multisite/internal/ate"
+	"multisite/internal/benchdata"
 	"multisite/internal/soc"
+	"multisite/internal/tam"
 )
 
 func testSOC() *soc.SOC {
@@ -228,5 +230,67 @@ func TestAbortOnFailImprovesThroughput(t *testing.T) {
 	if bestAbort.Throughput < bestFull.Throughput-1e-9 {
 		t.Errorf("abort-on-fail lowered throughput: %g < %g",
 			bestAbort.Throughput, bestFull.Throughput)
+	}
+}
+
+// BenchmarkStep2Curve measures building the per-site-count architecture
+// curve (nmax-site redistribution) for the PNX8550-class SOC, excluding
+// the Step 1 design itself.
+func BenchmarkStep2Curve(b *testing.B) {
+	s := benchdata.Shared("pnx8550")
+	target := ate.ATE{Channels: 512, Depth: 7 * benchdata.Mi, ClockHz: 5e6}
+	step1, err := tam.DesignStep1(s, target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nmax := target.MaxSites(step1.Channels())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step2Arches(target, step1, nmax)
+	}
+}
+
+// TestStep2ArchesMatchCloneRewiden pins the incremental Step 2 curve (one
+// running widening sequence, snapshot-cloned per site count) against the
+// straightforward reference that clones step1 and re-widens from scratch
+// for every n, on seeded generated SOCs, and validates every architecture
+// on the curve.
+func TestStep2ArchesMatchCloneRewiden(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		s := benchdata.Generate(benchdata.GenSpec{
+			Name:        "curve",
+			Seed:        seed,
+			LogicCores:  4 + int(seed%4)*3,
+			MemoryCores: int(seed % 3),
+			TargetArea:  (1 + seed%5) * benchdata.Mi / 2,
+		})
+		for _, bc := range []bool{false, true} {
+			target := ate.ATE{Channels: 256, Depth: int64(48+32*seed) * 1024, ClockHz: 5e6, Broadcast: bc}
+			step1, err := tam.DesignStep1(s, target)
+			if err != nil {
+				continue // infeasible seeds are fine
+			}
+			nmax := target.MaxSites(step1.Channels())
+			if nmax < 1 {
+				continue
+			}
+			arches := step2Arches(target, step1, nmax)
+			for n := nmax; n >= 1; n-- {
+				naive := step1
+				if budget := target.MaxWiresPerSite(n) - step1.Wires(); budget > 0 {
+					c := step1.Clone()
+					c.Widen(budget)
+					naive = c
+				}
+				if got, want := arches[n-1].WriteString(), naive.WriteString(); got != want {
+					t.Errorf("seed %d broadcast %v n %d: incremental curve differs\ngot:\n%s\nwant:\n%s",
+						seed, bc, n, got, want)
+				}
+				if err := arches[n-1].Validate(); err != nil {
+					t.Errorf("seed %d broadcast %v n %d: invalid curve architecture: %v", seed, bc, n, err)
+				}
+			}
+		}
 	}
 }

@@ -58,7 +58,10 @@ func designConfig(cfg core.Config) core.Config {
 // key, computing it at most once per key. The returned Result is shared:
 // callers must treat it as read-only and re-score it via ReEvaluate (the
 // embedded Curve/Best reflect the canonical design-time cost model, not
-// any particular job's).
+// any particular job's). Sharing is two-level: the Result is shared
+// across jobs, and within it Result.Arches shares one architecture
+// snapshot across site counts whose widening budgets coincide — both are
+// safe because evaluation never mutates an architecture.
 func (m *Memo) Design(s *soc.SOC, cfg core.Config) (*core.Result, error) {
 	m.requests.Add(1)
 	key := designKey{soc: s, ate: cfg.ATE, tam: cfg.TAM}

@@ -272,8 +272,12 @@ func ExtTDC() *report.Table {
 		}
 		jobs[i] = engine.Job{Name: fmt.Sprintf("d695/%gx", ratio), SOC: chip, Config: cfg}
 	}
+	// A fresh memo, not the session-wide DesignMemo: the compressed chips
+	// are freshly-built *soc.SOC values, so their pointer-identity design
+	// keys could never be re-hit across runs — retaining them in the
+	// session memo would only grow memory.
 	results, _ := engine.Run(context.Background(), jobs,
-		engine.Options{Workers: Workers, Memo: DesignMemo})
+		engine.Options{Workers: Workers, Memo: engine.NewMemo()})
 	var base float64
 	for i, r := range results {
 		ratio := ratios[i]

@@ -28,13 +28,14 @@ type Point struct {
 // width 1; each subsequent point strictly reduces the time.
 func Points(d *wrapper.Designer, mi, maxW int) []Point {
 	var pts []Point
-	top := d.MaxWidthTable(mi)
+	tt := d.TimeTable(mi)
+	top := len(tt)
 	if top > maxW {
 		top = maxW
 	}
 	var last int64 = -1
 	for w := 1; w <= top; w++ {
-		t := d.Time(mi, w)
+		t := tt[w-1]
 		if last < 0 || t < last {
 			pts = append(pts, Point{Width: w, Time: t})
 			last = t

@@ -1,0 +1,229 @@
+package tam
+
+import (
+	"fmt"
+	"testing"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/soc"
+)
+
+// The hot paths in tam.go (cached per-width fill tables, binary width
+// searches, the sort-free widening move) must be byte-identical to the
+// retained straightforward reference in reference_test.go. These tests pin
+// that equivalence on the d695 fixture and on seeded generated SOCs.
+
+// equivCases is the table of scenarios the equivalence tests sweep:
+// the d695 fixture across depths plus seeded synthetic SOCs of varying
+// shape, each against its own ATE.
+func equivCases() []struct {
+	name   string
+	soc    *soc.SOC
+	target ate.ATE
+} {
+	var cases []struct {
+		name   string
+		soc    *soc.SOC
+		target ate.ATE
+	}
+	add := func(name string, s *soc.SOC, channels int, depth int64) {
+		cases = append(cases, struct {
+			name   string
+			soc    *soc.SOC
+			target ate.ATE
+		}{name, s, ate.ATE{Channels: channels, Depth: depth, ClockHz: 5e6}})
+	}
+	for _, depthK := range []int64{48, 64, 96, 128} {
+		add(fmt.Sprintf("d695-%dK", depthK), d695(), 256, depthK*1024)
+	}
+	// Seeded synthetic SOCs: small enough that the reference's quadratic
+	// scans stay fast, varied enough (core mix, spread, area) to exercise
+	// merges, moves, widening extensions, and multi-wire squeezes.
+	for seed := int64(1); seed <= 12; seed++ {
+		s := benchdata.Generate(benchdata.GenSpec{
+			Name:        fmt.Sprintf("equiv%d", seed),
+			Seed:        seed,
+			LogicCores:  4 + int(seed%5)*2,
+			MemoryCores: int(seed % 4),
+			TargetArea:  (1 + seed%6) * benchdata.Mi / 2,
+			Spread:      0.8 + float64(seed%3)*0.4,
+		})
+		depth := int64(32+16*seed) * 1024
+		add(fmt.Sprintf("gen%d", seed), s, 128+int(seed%2)*128, depth)
+	}
+	// Regression cases: on these SOCs a binary-searched criterion 1
+	// squeeze returned architectures the one-wire-at-a-time walk never
+	// produces (same wires, worse fill, or different group structure) —
+	// the greedy's output depends on the cap value, not only on
+	// feasibility, so the squeeze must walk caps one wire at a time.
+	squeeze33 := benchdata.Generate(benchdata.GenSpec{
+		Name: "squeeze33", Seed: 33,
+		LogicCores: 9, MemoryCores: 3,
+		TargetArea: benchdata.Mi / 2, Spread: 0.5,
+	})
+	add("squeeze33-48K", squeeze33, 256, 48*1024)
+	squeeze17 := benchdata.Generate(benchdata.GenSpec{
+		Name: "squeeze17", Seed: 17,
+		LogicCores: 11, MemoryCores: 2,
+		TargetArea: benchdata.Mi, Spread: 1.2,
+	})
+	add("squeeze17-96ch", squeeze17, 96, 24*1024)
+	add("squeeze17-256ch", squeeze17, 256, 48*1024)
+	return cases
+}
+
+// archEqual reports a diff between two architectures, comparing the full
+// group structure including per-member times.
+func archEqual(t *testing.T, name string, got, want *Architecture) {
+	t.Helper()
+	if got.WriteString() != want.WriteString() {
+		t.Errorf("%s: architecture differs from reference\ngot:\n%s\nwant:\n%s",
+			name, got.WriteString(), want.WriteString())
+		return
+	}
+	for gi, g := range got.Groups {
+		for i, tm := range g.Times {
+			if want.Groups[gi].Times[i] != tm {
+				t.Errorf("%s: group %d member %d time %d != reference %d",
+					name, gi, i, tm, want.Groups[gi].Times[i])
+			}
+		}
+	}
+}
+
+// TestStep1MatchesReference pins the optimized DesignStep1With (flat time
+// tables, incremental fills, binary searches) byte-identical to the
+// literal reference implementation, across option rules and with and
+// without the squeeze and the restart portfolio.
+func TestStep1MatchesReference(t *testing.T) {
+	opts := []Options{
+		{},
+		{Rule: RuleAlwaysNewGroup},
+		{Rule: RulePreferWiden},
+		{SinglePass: true},
+		{NoSqueeze: true},
+		{SinglePass: true, NoSqueeze: true},
+	}
+	for _, c := range equivCases() {
+		for oi, o := range opts {
+			name := fmt.Sprintf("%s/opts%d", c.name, oi)
+			got, errGot := DesignStep1With(c.soc, c.target, o)
+			want, errWant := referenceDesignStep1With(c.soc, c.target, o)
+			if (errGot == nil) != (errWant == nil) {
+				t.Errorf("%s: error mismatch: got %v, reference %v", name, errGot, errWant)
+				continue
+			}
+			if errGot != nil {
+				continue // both infeasible
+			}
+			if err := got.Validate(); err != nil {
+				t.Errorf("%s: invalid architecture after localMinimize: %v", name, err)
+			}
+			archEqual(t, name, got, want)
+		}
+	}
+}
+
+// TestWidenMatchesReference pins the sort-free WidenOnce byte-identical to
+// the sorted reference move across full widening runs, validating the
+// architecture after every accepted wire.
+func TestWidenMatchesReference(t *testing.T) {
+	for _, c := range equivCases() {
+		a, err := DesignStep1(c.soc, c.target)
+		if err != nil {
+			continue
+		}
+		fast, ref := a.Clone(), a.Clone()
+		for move := 0; ; move++ {
+			gotMore := fast.WidenOnce()
+			wantMore := ref.referenceWidenOnce()
+			if gotMore != wantMore {
+				t.Errorf("%s: move %d: WidenOnce=%v, reference=%v", c.name, move, gotMore, wantMore)
+				break
+			}
+			if !gotMore {
+				break
+			}
+			archEqual(t, fmt.Sprintf("%s/move%d", c.name, move), fast, ref)
+			if err := fast.Validate(); err != nil {
+				t.Errorf("%s: move %d: invalid after Widen: %v", c.name, move, err)
+				break
+			}
+			if move > 300 {
+				t.Errorf("%s: widening did not saturate after %d moves", c.name, move)
+				break
+			}
+		}
+	}
+}
+
+// TestLocalMinimizeMatchesReference drives the clean-up pass alone (without
+// the surrounding design loop) from a worst-case one-group-per-module
+// placement and pins it against the reference operations.
+func TestLocalMinimizeMatchesReference(t *testing.T) {
+	for _, c := range equivCases() {
+		pre := prePlacedArch(c.soc, c.target)
+		if pre == nil {
+			continue // some module cannot fit this depth at all
+		}
+		fast, ref := pre.Clone(), pre.Clone()
+		fast.localMinimize()
+		ref.referenceLocalMinimize()
+		if err := fast.Validate(); err != nil {
+			t.Errorf("%s: invalid after localMinimize: %v", c.name, err)
+			continue
+		}
+		archEqual(t, c.name, fast, ref)
+	}
+}
+
+// TestWidenOnceTieBreakDeterministic pins the explicit tie-break: of two
+// groups tied on fill, the lower-index one widens first.
+func TestWidenOnceTieBreakDeterministic(t *testing.T) {
+	s := &soc.SOC{Name: "tie", Modules: []soc.Module{
+		{ID: 1, Inputs: 20, Outputs: 20, Patterns: 50, ScanChains: soc.UniformChains(4, 100)},
+		{ID: 2, Inputs: 20, Outputs: 20, Patterns: 50, ScanChains: soc.UniformChains(4, 100)},
+	}}
+	// The depth fits each module alone at width 1 but not both in one
+	// group, so placement must open two identical (tied) groups.
+	d := ate.ATE{Channels: 64, Depth: 30_000, ClockHz: 5e6}
+	a, err := DesignStep1With(s, d, Options{Rule: RuleAlwaysNewGroup, NoSqueeze: true, SinglePass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical modules in separate groups at identical widths tie on
+	// fill exactly.
+	if len(a.Groups) != 2 || a.Groups[0].Fill != a.Groups[1].Fill {
+		t.Fatalf("placement did not produce tied groups: %s", a.WriteString())
+	}
+	w0, w1 := a.Groups[0].Width, a.Groups[1].Width
+	if !a.WidenOnce() {
+		t.Fatal("tied groups cannot widen")
+	}
+	if a.Groups[0].Width != w0+1 || a.Groups[1].Width != w1 {
+		t.Errorf("tie not broken by index: widths %d/%d, want %d/%d",
+			a.Groups[0].Width, a.Groups[1].Width, w0+1, w1)
+	}
+}
+
+// TestFillTableMaintainedIncrementally checks the cached fill tables stay
+// consistent through a design run plus widening (Validate cross-checks
+// every cached entry against a straight member-time sum).
+func TestFillTableMaintainedIncrementally(t *testing.T) {
+	for _, c := range equivCases() {
+		a, err := DesignStep1(c.soc, c.target)
+		if err != nil {
+			continue
+		}
+		// Force tables to exist on every group, then mutate through the
+		// incremental paths and re-validate.
+		for _, g := range a.Groups {
+			a.fillTable(g)
+		}
+		a.Widen(32)
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: fill cache inconsistent after design+widen: %v", c.name, err)
+		}
+	}
+}

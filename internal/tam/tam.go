@@ -13,6 +13,7 @@ package tam
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"multisite/internal/ate"
@@ -32,6 +33,137 @@ type Group struct {
 	Times []int64
 	// Fill is the vector memory depth the group consumes: ΣTimes.
 	Fill int64
+	// fills[w-1] caches the group's fill at width w; beyond its length the
+	// fill saturates at the last entry. Built lazily from the members'
+	// wrapper time tables and maintained incrementally as members are
+	// added and removed, it turns the per-width member-time sums of the
+	// Step 1/Step 2 inner loops into O(1) lookups. The table is
+	// non-increasing in w, so width searches over it binary-search.
+	// nil means not built; width changes never invalidate it.
+	fills []int64
+}
+
+// atWidth indexes a non-increasing per-width table (a wrapper time table
+// or a group fill table), saturating beyond its length.
+func atWidth(t []int64, w int) int64 {
+	if w > len(t) {
+		w = len(t)
+	}
+	return t[w-1]
+}
+
+// minFeasible returns the smallest value in [lo, hi] satisfying fits.
+// It requires fits to be monotone — false up to some threshold, true
+// from there on, which non-increasing per-width fill tables guarantee
+// for width (and width-extension) searches — and fits(hi) to be true.
+func minFeasible(lo, hi int, fits func(w int) bool) int {
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fits(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// fillTable returns the group's per-width fill table. A single-member
+// group's fill table IS its member's wrapper time table, which is shared
+// (never stored in g.fills, so the incremental updates cannot scribble on
+// the designer's cache) and costs nothing to "build"; multi-member groups
+// cache an owned sum vector, built on first use.
+func (a *Architecture) fillTable(g *Group) []int64 {
+	if g.fills == nil {
+		if len(g.Members) == 1 {
+			return a.Designer.TimeTable(g.Members[0])
+		}
+		a.rebuildFills(g)
+	}
+	return g.fills
+}
+
+// rebuildFills recomputes the cached fill table from the members' wrapper
+// time tables.
+func (a *Architecture) rebuildFills(g *Group) {
+	top := 1
+	for _, mi := range g.Members {
+		if l := a.Designer.MaxWidthTable(mi); l > top {
+			top = l
+		}
+	}
+	fills := make([]int64, top)
+	for _, mi := range g.Members {
+		addTimes(fills, a.Designer.TimeTable(mi))
+	}
+	g.fills = fills
+}
+
+// addTimes adds the time table (saturated beyond its length) into fills.
+func addTimes(fills, tt []int64) {
+	n := len(tt)
+	if n > len(fills) {
+		n = len(fills)
+	}
+	for w := 0; w < n; w++ {
+		fills[w] += tt[w]
+	}
+	sat := tt[len(tt)-1]
+	for w := n; w < len(fills); w++ {
+		fills[w] += sat
+	}
+}
+
+// subTimes subtracts the time table (saturated beyond its length) from
+// fills.
+func subTimes(fills, tt []int64) {
+	n := len(tt)
+	if n > len(fills) {
+		n = len(fills)
+	}
+	for w := 0; w < n; w++ {
+		fills[w] -= tt[w]
+	}
+	sat := tt[len(tt)-1]
+	for w := n; w < len(fills); w++ {
+		fills[w] -= sat
+	}
+}
+
+// addMember appends module mi, whose test time at the group's current
+// width is t, and maintains the cached fill table.
+func (a *Architecture) addMember(g *Group, mi int, t int64) {
+	g.Members = append(g.Members, mi)
+	g.Times = append(g.Times, t)
+	g.Fill += t
+	if g.fills == nil {
+		return
+	}
+	tt := a.Designer.TimeTable(mi)
+	if len(tt) > len(g.fills) {
+		// Every existing member saturates beyond the old length, so the
+		// extension continues at the old saturation value.
+		ext := make([]int64, len(tt))
+		copy(ext, g.fills)
+		sat := g.fills[len(g.fills)-1]
+		for w := len(g.fills); w < len(tt); w++ {
+			ext[w] = sat
+		}
+		g.fills = ext
+	}
+	addTimes(g.fills, tt)
+}
+
+// removeMemberAt deletes the idx-th member and maintains the cached fill
+// table (its length is left as is; the saturation point only shrinks).
+func (a *Architecture) removeMemberAt(g *Group, idx int) {
+	mi := g.Members[idx]
+	g.Fill -= g.Times[idx]
+	g.Members = append(g.Members[:idx], g.Members[idx+1:]...)
+	g.Times = append(g.Times[:idx], g.Times[idx+1:]...)
+	if g.fills != nil {
+		subTimes(g.fills, a.Designer.TimeTable(mi))
+	}
 }
 
 // Architecture is a complete channel-group assignment for an SOC against a
@@ -84,7 +216,7 @@ func (a *Architecture) FreeMemory() int64 {
 func (a *Architecture) refit(g *Group) {
 	g.Fill = 0
 	for i, mi := range g.Members {
-		t := a.Designer.Time(mi, g.Width)
+		t := atWidth(a.Designer.TimeTable(mi), g.Width)
 		g.Times[i] = t
 		g.Fill += t
 	}
@@ -92,15 +224,13 @@ func (a *Architecture) refit(g *Group) {
 
 // fillAt returns the group's fill if its width were w, without mutating it.
 func (a *Architecture) fillAt(g *Group, w int) int64 {
-	var fill int64
-	for _, mi := range g.Members {
-		fill += a.Designer.Time(mi, w)
-	}
-	return fill
+	return atWidth(a.fillTable(g), w)
 }
 
 // Clone deep-copies the architecture. The SOC and Designer are shared
-// (both are read-only caches for architecture purposes).
+// (both are read-only caches for architecture purposes). The cached fill
+// tables are not copied — snapshots are usually only evaluated, and a
+// clone that is mutated rebuilds them lazily.
 func (a *Architecture) Clone() *Architecture {
 	out := &Architecture{SOC: a.SOC, Designer: a.Designer, Depth: a.Depth}
 	out.Groups = make([]*Group, len(a.Groups))
@@ -141,6 +271,29 @@ func (a *Architecture) Validate() error {
 		}
 		if fill > a.Depth {
 			return fmt.Errorf("group %d: fill %d exceeds depth %d", gi, fill, a.Depth)
+		}
+		if g.fills != nil {
+			// The incremental fill cache must agree with a straight
+			// member-time sum at every width, and must extend at least to
+			// the point where every member's time has saturated.
+			need := 1
+			for _, mi := range g.Members {
+				if l := a.Designer.MaxWidthTable(mi); l > need {
+					need = l
+				}
+			}
+			if len(g.fills) < need {
+				return fmt.Errorf("group %d: fill cache covers %d widths, members saturate at %d", gi, len(g.fills), need)
+			}
+			for w := 1; w <= len(g.fills); w++ {
+				var want int64
+				for _, mi := range g.Members {
+					want += a.Designer.Time(mi, w)
+				}
+				if g.fills[w-1] != want {
+					return fmt.Errorf("group %d: cached fill %d at width %d != member-time sum %d", gi, g.fills[w-1], w, want)
+				}
+			}
 		}
 	}
 	for _, mi := range a.SOC.TestableModules() {
@@ -225,9 +378,18 @@ func DesignStep1With(s *soc.SOC, target ate.ATE, opts Options) (*Architecture, e
 	if err != nil || opts.NoSqueeze {
 		return best, err
 	}
-	// Criterion 1 squeeze: rerun under a cap one wire below the current
-	// result until the greedy can no longer fit. Ties on channels keep
-	// the earlier (lower-fill) architecture.
+	// Criterion 1 squeeze: rerun the greedy under a cap one wire below
+	// the current result until it can no longer fit, implementing the
+	// paper's "criterion 1 (minimize k) has priority" at full strength.
+	// The walk is deliberately one wire at a time: the greedy's output
+	// depends on the cap value itself (the cap prunes widening options in
+	// place and the byMinArea ordering keys), so probing caps this walk
+	// would never visit — e.g. binary-searching for the tightest feasible
+	// cap — can return a different, occasionally worse, architecture
+	// (TestStep1MatchesReference covers seeds where it does). Each rerun
+	// rides the flat time tables and incremental fills, so the walk costs
+	// a small multiple of one portfolio, not the old per-query sums.
+	// Ties on channels keep the earlier (lower-fill) architecture.
 	for {
 		tight := opts
 		tight.MaxWires = best.Wires() - 1
@@ -296,9 +458,10 @@ func designOnce(s *soc.SOC, target ate.ATE, opts Options, order sortOrder, choic
 		return nil, fmt.Errorf("soc %s: no testable modules", s.Name)
 	}
 
-	// Minimum width per module; infeasible if any module cannot fit the
-	// vector memory depth at any width.
-	wmin := make(map[int]int, len(modules))
+	// Minimum width per module, densely indexed by module index;
+	// infeasible if any module cannot fit the vector memory depth at any
+	// width.
+	wmin := make([]int, len(s.Modules))
 	for _, mi := range modules {
 		w, ok := d.MinWidth(mi, target.Depth, maxWires)
 		if !ok {
@@ -315,9 +478,14 @@ func designOnce(s *soc.SOC, target ate.ATE, opts Options, order sortOrder, choic
 	key := func(mi int) int64 {
 		switch order {
 		case byMinArea:
+			tt := d.TimeTable(mi)
+			top := len(tt)
+			if top > maxWires {
+				top = maxWires
+			}
 			var best int64 = -1
-			for w := 1; w <= maxWires && w <= d.MaxWidthTable(mi); w++ {
-				if t := d.Time(mi, w); t <= target.Depth {
+			for w := 1; w <= top; w++ {
+				if t := tt[w-1]; t <= target.Depth {
 					if area := int64(w) * t; best < 0 || area < best {
 						best = area
 					}
@@ -330,7 +498,7 @@ func designOnce(s *soc.SOC, target ate.ATE, opts Options, order sortOrder, choic
 			return int64(wmin[mi])
 		}
 	}
-	keys := make(map[int]int64, len(modules))
+	keys := make([]int64, len(s.Modules))
 	for _, mi := range modules {
 		keys[mi] = key(mi)
 	}
@@ -376,13 +544,21 @@ func (a *Architecture) localMinimize() {
 	}
 }
 
+// shrinkWidth returns the smallest width ≤ g.Width at which the group's
+// members still fit the depth. The fill table is non-increasing in width
+// and the group fits at its current width, so binary search applies.
+func (a *Architecture) shrinkWidth(g *Group) int {
+	f := a.fillTable(g)
+	return minFeasible(1, g.Width, func(w int) bool {
+		return atWidth(f, w) <= a.Depth
+	})
+}
+
 // shrinkAll narrows every group to the smallest width at which its members
 // still fit the depth.
 func (a *Architecture) shrinkAll() {
 	for _, g := range a.Groups {
-		for g.Width > 1 && a.fillAt(g, g.Width-1) <= a.Depth {
-			g.Width--
-		}
+		g.Width = a.shrinkWidth(g)
 		a.refit(g)
 	}
 }
@@ -393,20 +569,21 @@ func (a *Architecture) shrinkAll() {
 func (a *Architecture) mergeOnce() bool {
 	bestI, bestJ := -1, -1
 	var bestFill int64
+	// Resolve each group's fill table once; the O(G²) pair loop is then
+	// pure slice indexing.
+	tables := make([][]int64, len(a.Groups))
+	for i, g := range a.Groups {
+		tables[i] = a.fillTable(g)
+	}
 	for i := 0; i < len(a.Groups); i++ {
+		gi := a.Groups[i]
 		for j := i + 1; j < len(a.Groups); j++ {
-			gi, gj := a.Groups[i], a.Groups[j]
+			gj := a.Groups[j]
 			w := gi.Width
 			if gj.Width > w {
 				w = gj.Width
 			}
-			var fill int64
-			for _, mi := range gi.Members {
-				fill += a.Designer.Time(mi, w)
-			}
-			for _, mi := range gj.Members {
-				fill += a.Designer.Time(mi, w)
-			}
+			fill := atWidth(tables[i], w) + atWidth(tables[j], w)
 			if fill > a.Depth {
 				continue
 			}
@@ -424,12 +601,10 @@ func (a *Architecture) mergeOnce() bool {
 	}
 	gi.Members = append(gi.Members, gj.Members...)
 	gi.Times = append(gi.Times, gj.Times...)
+	gi.fills = nil // rebuilt lazily on the next fill query
 	a.Groups = append(a.Groups[:bestJ], a.Groups[bestJ+1:]...)
-	a.refit(gi)
 	// The merged group may now shrink below the wider width.
-	for gi.Width > 1 && a.fillAt(gi, gi.Width-1) <= a.Depth {
-		gi.Width--
-	}
+	gi.Width = a.shrinkWidth(gi)
 	a.refit(gi)
 	return true
 }
@@ -439,44 +614,38 @@ func (a *Architecture) mergeOnce() bool {
 // Returns false when no improving move exists.
 func (a *Architecture) moveOnce() bool {
 	for gi, g := range a.Groups {
+		gf := a.fillTable(g)
 		for idx, mi := range g.Members {
+			tt := a.Designer.TimeTable(mi)
+			// Donor width after losing the member: the remaining members'
+			// fill is the cached group fill minus this member's time,
+			// still non-increasing in width, so the smallest width that
+			// fits is found by binary search. The remainder fits at the
+			// current width (it is a subset of the group), so a feasible
+			// width always exists.
+			newW := 0
+			if len(g.Members) > 1 {
+				newW = minFeasible(1, g.Width, func(w int) bool {
+					return atWidth(gf, w)-atWidth(tt, w) <= a.Depth
+				})
+			}
+			if newW >= g.Width {
+				continue // no wires saved
+			}
 			for gj, h := range a.Groups {
 				if gi == gj {
 					continue
 				}
-				t := a.Designer.Time(mi, h.Width)
+				t := atWidth(tt, h.Width)
 				if h.Fill+t > a.Depth {
 					continue
 				}
-				// Donor width after losing the member.
-				rest := append([]int(nil), g.Members[:idx]...)
-				rest = append(rest, g.Members[idx+1:]...)
-				newW := 0
-				if len(rest) > 0 {
-					newW = g.Width
-					for newW > 1 {
-						var fill int64
-						for _, r := range rest {
-							fill += a.Designer.Time(r, newW-1)
-						}
-						if fill > a.Depth {
-							break
-						}
-						newW--
-					}
-				}
-				if newW >= g.Width {
-					continue // no wires saved
-				}
 				// Accept: move mi into h, shrink or delete g.
-				h.Members = append(h.Members, mi)
-				h.Times = append(h.Times, t)
-				h.Fill += t
-				if len(rest) == 0 {
+				a.addMember(h, mi, t)
+				if len(g.Members) == 1 {
 					a.Groups = append(a.Groups[:gi], a.Groups[gi+1:]...)
 				} else {
-					g.Members = rest
-					g.Times = make([]int64, len(rest))
+					a.removeMemberAt(g, idx)
 					g.Width = newW
 					a.refit(g)
 				}
@@ -489,6 +658,7 @@ func (a *Architecture) moveOnce() bool {
 
 // place assigns one module, implementing the per-module step of Step 1.
 func (a *Architecture) place(mi, wmin, maxWires int, rule OptionRule, choice placeChoice) error {
+	tt := a.Designer.TimeTable(mi)
 	// First try existing groups without widening. The paper assigns to
 	// the group requiring the smallest vector memory depth (smallest
 	// added time); the best-fit variant instead minimizes the slack
@@ -496,7 +666,7 @@ func (a *Architecture) place(mi, wmin, maxWires int, rule OptionRule, choice pla
 	bestG := -1
 	var bestT, bestKey int64
 	for gi, g := range a.Groups {
-		t := a.Designer.Time(mi, g.Width)
+		t := atWidth(tt, g.Width)
 		if g.Fill+t > a.Depth {
 			continue
 		}
@@ -509,10 +679,7 @@ func (a *Architecture) place(mi, wmin, maxWires int, rule OptionRule, choice pla
 		}
 	}
 	if bestG >= 0 {
-		g := a.Groups[bestG]
-		g.Members = append(g.Members, mi)
-		g.Times = append(g.Times, bestT)
-		g.Fill += bestT
+		a.addMember(a.Groups[bestG], mi, bestT)
 		return nil
 	}
 
@@ -520,31 +687,37 @@ func (a *Architecture) place(mi, wmin, maxWires int, rule OptionRule, choice pla
 	// width wmin. Option (2): widen an existing group just enough that
 	// the module (and the refitted members) fit.
 	used := a.Wires()
+	totalFree := a.FreeMemory()
 	type option struct {
 		group int // -1 for a new group
 		extra int // wires added
 		free  int64
 	}
-	var candidates []option
+	candidates := make([]option, 0, len(a.Groups)+1)
 
 	if used+wmin <= maxWires {
-		newFill := a.Designer.Time(mi, wmin)
-		free := a.FreeMemory() + int64(wmin)*(a.Depth-newFill)
+		newFill := atWidth(tt, wmin)
+		free := totalFree + int64(wmin)*(a.Depth-newFill)
 		candidates = append(candidates, option{group: -1, extra: wmin, free: free})
 	}
-	for gi, g := range a.Groups {
-		for e := 1; used+e <= maxWires; e++ {
-			w := g.Width + e
-			fill := a.fillAt(g, w) + a.Designer.Time(mi, w)
-			if fill > a.Depth {
-				continue
+	if maxE := maxWires - used; maxE >= 1 {
+		for gi, g := range a.Groups {
+			// The group's fill plus the module's time is non-increasing
+			// in width, so the minimal feasible extension is found by
+			// binary search over e in [1, maxE].
+			gf := a.fillTable(g)
+			if atWidth(gf, g.Width+maxE)+atWidth(tt, g.Width+maxE) > a.Depth {
+				continue // no feasible extension for this group
 			}
-			// Feasible extension found (fills are non-increasing
-			// in width, so the first e that fits is minimal).
-			free := a.FreeMemory() - int64(g.Width)*(a.Depth-g.Fill) +
+			e := minFeasible(1, maxE, func(e int) bool {
+				w := g.Width + e
+				return atWidth(gf, w)+atWidth(tt, w) <= a.Depth
+			})
+			w := g.Width + e
+			fill := atWidth(gf, w) + atWidth(tt, w)
+			free := totalFree - int64(g.Width)*(a.Depth-g.Fill) +
 				int64(w)*(a.Depth-fill)
 			candidates = append(candidates, option{group: gi, extra: e, free: free})
-			break
 		}
 	}
 	if len(candidates) == 0 {
@@ -593,7 +766,7 @@ func (a *Architecture) place(mi, wmin, maxWires int, rule OptionRule, choice pla
 
 	if chosen.group == -1 {
 		g := &Group{Width: wmin}
-		t := a.Designer.Time(mi, wmin)
+		t := atWidth(tt, wmin)
 		g.Members = []int{mi}
 		g.Times = []int64{t}
 		g.Fill = t
@@ -603,34 +776,42 @@ func (a *Architecture) place(mi, wmin, maxWires int, rule OptionRule, choice pla
 	g := a.Groups[chosen.group]
 	g.Width += chosen.extra
 	a.refit(g)
-	t := a.Designer.Time(mi, g.Width)
-	g.Members = append(g.Members, mi)
-	g.Times = append(g.Times, t)
-	g.Fill += t
+	a.addMember(g, mi, atWidth(tt, g.Width))
 	return nil
 }
 
 // WidenOnce adds one TAM wire to the most-filled group whose fill the
 // extra wire actually reduces (the paper's Step 2 redistribution move).
+// Groups tied on fill are tried in index order — an explicit tie-break,
+// so the chosen move does not depend on sort internals or platform.
 // It returns false when no group can improve, i.e. all wrapped times have
-// saturated.
+// saturated. Rather than sorting all groups per wire, candidates are
+// selected by repeated maximum (the first or second candidate almost
+// always improves).
 func (a *Architecture) WidenOnce() bool {
-	order := make([]int, len(a.Groups))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(x, y int) bool {
-		return a.Groups[order[x]].Fill > a.Groups[order[y]].Fill
-	})
-	for _, gi := range order {
-		g := a.Groups[gi]
+	lastFill := int64(math.MaxInt64)
+	lastIdx := -1
+	for {
+		best := -1
+		for i, g := range a.Groups {
+			if g.Fill > lastFill || (g.Fill == lastFill && i <= lastIdx) {
+				continue // already tried in an earlier round
+			}
+			if best < 0 || g.Fill > a.Groups[best].Fill {
+				best = i
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		g := a.Groups[best]
 		if a.fillAt(g, g.Width+1) < g.Fill {
 			g.Width++
 			a.refit(g)
 			return true
 		}
+		lastFill, lastIdx = g.Fill, best
 	}
-	return false
 }
 
 // Widen distributes up to extraWires wires one at a time (WidenOnce) and

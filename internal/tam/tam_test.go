@@ -7,7 +7,9 @@ import (
 	"testing/quick"
 
 	"multisite/internal/ate"
+	"multisite/internal/benchdata"
 	"multisite/internal/soc"
+	"multisite/internal/wrapper"
 )
 
 func d695() *soc.SOC {
@@ -318,5 +320,40 @@ func TestPropertyWidenMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// prePlacedArch builds the worst-case input to localMinimize: every
+// testable module alone in its own minimum-width group, nothing merged or
+// moved yet. It returns nil when some module cannot fit the depth at all.
+func prePlacedArch(s *soc.SOC, target ate.ATE) *Architecture {
+	d := wrapper.For(s)
+	a := &Architecture{SOC: s, Designer: d, Depth: target.Depth}
+	for _, mi := range s.TestableModules() {
+		w, ok := d.MinWidth(mi, target.Depth, target.Channels/2)
+		if !ok {
+			return nil
+		}
+		t := d.Time(mi, w)
+		a.Groups = append(a.Groups, &Group{Width: w, Members: []int{mi}, Times: []int64{t}, Fill: t})
+	}
+	return a
+}
+
+// BenchmarkLocalMinimize measures the post-placement clean-up (shrink,
+// merge, move) on the largest Table 1 chip from a one-group-per-module
+// starting point.
+func BenchmarkLocalMinimize(b *testing.B) {
+	s := benchdata.Shared("p93791")
+	target := ate.ATE{Channels: 512, Depth: 2 * benchdata.Mi, ClockHz: 5e6}
+	pre := prePlacedArch(s, target)
+	if pre == nil {
+		b.Fatal("p93791 does not fit the benchmark depth")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := pre.Clone()
+		c.localMinimize()
 	}
 }

@@ -37,6 +37,10 @@ type moduleTable struct {
 	// prefixBest[c-1] is the index (chain count - 1) of the best design
 	// among chain counts 1..c.
 	prefixBest []int
+	// times[w-1] is the best test time at TAM width w: the prefix minimum
+	// of the per-chain-count design times. Architecture optimization's
+	// inner loops index this flat table instead of copying Design structs.
+	times []int64
 }
 
 // NewDesigner returns a Designer for the given SOC.
@@ -62,16 +66,14 @@ func For(s *soc.SOC) *Designer {
 // SOC returns the SOC this designer was built for.
 func (d *Designer) SOC() *soc.SOC { return d.soc }
 
-func (d *Designer) table(mi int) ([]Design, []int) {
+func (d *Designer) table(mi int) *moduleTable {
 	if v, ok := d.tables.Load(mi); ok {
-		t := v.(*moduleTable)
-		return t.designs, t.prefixBest
+		return v.(*moduleTable)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if v, ok := d.tables.Load(mi); ok {
-		t := v.(*moduleTable)
-		return t.designs, t.prefixBest
+		return v.(*moduleTable)
 	}
 	m := &d.soc.Modules[mi]
 	cMax := MaxUsefulWidth(m)
@@ -80,6 +82,7 @@ func (d *Designer) table(mi int) ([]Design, []int) {
 	}
 	t := make([]Design, cMax)
 	pb := make([]int, cMax)
+	times := make([]int64, cMax)
 	lengths := m.SortedChainLengths()
 	for c := 1; c <= cMax; c++ {
 		if m.Patterns == 0 {
@@ -93,9 +96,11 @@ func (d *Designer) table(mi int) ([]Design, []int) {
 		} else {
 			pb[c-1] = pb[c-2]
 		}
+		times[c-1] = t[pb[c-1]].Time
 	}
-	d.tables.Store(mi, &moduleTable{designs: t, prefixBest: pb})
-	return t, pb
+	tab := &moduleTable{designs: t, prefixBest: pb, times: times}
+	d.tables.Store(mi, tab)
+	return tab
 }
 
 // Fit returns the best design for module index mi at TAM width w.
@@ -104,40 +109,58 @@ func (d *Designer) Fit(mi, w int) Design {
 	if w < 1 {
 		panic("wrapper.Designer.Fit: width < 1")
 	}
-	t, pb := d.table(mi)
+	t := d.table(mi)
 	c := w
-	if c > len(t) {
-		c = len(t)
+	if c > len(t.designs) {
+		c = len(t.designs)
 	}
-	best := t[pb[c-1]]
+	best := t.designs[t.prefixBest[c-1]]
 	best.Width = w
 	return best
 }
 
+// TimeTable returns the dense best-time table of module mi: entry w-1 is
+// the minimum test time in cycles at TAM width w, for w in
+// 1..MaxWidthTable(mi); beyond the table the time saturates at the last
+// entry. The slice is shared and must not be mutated. The table is
+// non-increasing, so callers may binary-search it. Architecture
+// optimization's inner loops index it directly instead of paying a map
+// load plus a Design struct copy per Time query.
+func (d *Designer) TimeTable(mi int) []int64 {
+	return d.table(mi).times
+}
+
 // Time returns the test time in cycles of module mi at width w.
 func (d *Designer) Time(mi, w int) int64 {
-	return d.Fit(mi, w).Time
+	if w < 1 {
+		panic("wrapper.Designer.Time: width < 1")
+	}
+	tt := d.table(mi).times
+	if w > len(tt) {
+		w = len(tt)
+	}
+	return tt[w-1]
 }
 
 // MinWidth returns the smallest width w ≤ maxW such that module mi tests
 // within depth cycles, and whether such a width exists. Because Fit's time
 // is non-increasing in w, binary search applies.
 func (d *Designer) MinWidth(mi int, depth int64, maxW int) (int, bool) {
-	t, pb := d.table(mi)
-	top := len(t)
+	tt := d.table(mi).times
+	top := len(tt)
 	if top > maxW {
 		top = maxW
 	}
 	if top < 1 {
 		return 0, false
 	}
-	if t[pb[top-1]].Time > depth {
+	if tt[top-1] > depth {
 		return 0, false
 	}
 	lo, hi := 1, top
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if t[pb[mid-1]].Time <= depth {
+		if tt[mid-1] <= depth {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -148,13 +171,12 @@ func (d *Designer) MinWidth(mi int, depth int64, maxW int) (int, bool) {
 
 // MinTime returns the smallest achievable test time of module mi.
 func (d *Designer) MinTime(mi int) int64 {
-	t, pb := d.table(mi)
-	return t[pb[len(t)-1]].Time
+	tt := d.table(mi).times
+	return tt[len(tt)-1]
 }
 
 // MaxWidthTable exposes the number of distinct useful chain counts of
 // module mi (i.e. MaxUsefulWidth of the module).
 func (d *Designer) MaxWidthTable(mi int) int {
-	t, _ := d.table(mi)
-	return len(t)
+	return len(d.table(mi).times)
 }

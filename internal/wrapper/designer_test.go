@@ -133,3 +133,44 @@ func TestForCachesPerSOC(t *testing.T) {
 		t.Error("For shared a designer across distinct SOC values")
 	}
 }
+
+func TestDesignerTimeTableMatchesFit(t *testing.T) {
+	s := designerSOC()
+	d := NewDesigner(s)
+	for mi := range s.Modules {
+		tt := d.TimeTable(mi)
+		if len(tt) != d.MaxWidthTable(mi) {
+			t.Errorf("module %d: table length %d != MaxWidthTable %d", mi, len(tt), d.MaxWidthTable(mi))
+		}
+		for w := 1; w <= len(tt); w++ {
+			if want := Fit(&s.Modules[mi], w).Time; tt[w-1] != want {
+				t.Errorf("module %d width %d: table %d, Fit %d", mi, w, tt[w-1], want)
+			}
+		}
+	}
+}
+
+func TestDesignerTimeTableNonIncreasing(t *testing.T) {
+	s := designerSOC()
+	d := NewDesigner(s)
+	for mi := range s.Modules {
+		tt := d.TimeTable(mi)
+		for w := 1; w < len(tt); w++ {
+			if tt[w] > tt[w-1] {
+				t.Errorf("module %d: time increases from width %d (%d) to %d (%d)",
+					mi, w, tt[w-1], w+1, tt[w])
+			}
+		}
+	}
+}
+
+func TestDesignerTimeSaturatesBeyondTable(t *testing.T) {
+	s := designerSOC()
+	d := NewDesigner(s)
+	for mi := range s.Modules {
+		tt := d.TimeTable(mi)
+		if got, want := d.Time(mi, len(tt)+37), tt[len(tt)-1]; got != want {
+			t.Errorf("module %d: time beyond table = %d, want saturated %d", mi, got, want)
+		}
+	}
+}
