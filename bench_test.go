@@ -28,6 +28,7 @@ import (
 	"multisite/internal/soc"
 	"multisite/internal/tam"
 	"multisite/internal/tap"
+	"multisite/internal/vectors"
 	"multisite/internal/wafersim"
 	"multisite/internal/wrapper"
 )
@@ -202,6 +203,42 @@ func BenchmarkSimBitD695(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(arch, sim.BitAccurate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimBitPNX8550 measures the word-packed bit-accurate simulation
+// of the full 275-module PNX8550-class test — every scan-out bit of every
+// module materialized and compared. Infeasible before the packed engine
+// (the per-cycle boolean reference needs ~hours); the packed, parallel
+// engine runs it in fractions of a second, which is what lets the
+// ext-bitval experiment and the family differential tests treat
+// PNX8550-scale bit-level validation as routine.
+func BenchmarkSimBitPNX8550(b *testing.B) {
+	s := benchdata.Shared("pnx8550")
+	arch, err := tam.DesignStep1(s, ate.ATE{Channels: 512, Depth: 7 * benchdata.Mi, ClockHz: 5e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(arch, sim.BitAccurate); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVectorsBuild measures laying out the PNX8550 ATE memory image.
+func BenchmarkVectorsBuild(b *testing.B) {
+	s := benchdata.Shared("pnx8550")
+	arch, err := tam.DesignStep1(s, ate.ATE{Channels: 512, Depth: 7 * benchdata.Mi, ClockHz: 5e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := vectors.Build(arch); err != nil {
 			b.Fatal(err)
 		}
 	}

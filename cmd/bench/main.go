@@ -1,0 +1,89 @@
+// Command bench runs the repository benchmark suite with -benchmem and
+// records the results as a machine-readable BENCH_<date>.json (name,
+// ns/op, B/op, allocs/op per benchmark), so the performance trajectory is
+// captured run over run. CI invokes it as the bench-smoke step (one
+// iteration per benchmark: every benchmark stays compiling and runnable,
+// and each push leaves a trajectory point as a build artifact); locally,
+// a real measurement is one flag away:
+//
+//	go run ./cmd/bench                      # smoke: -benchtime 1x
+//	go run ./cmd/bench -benchtime 10x       # real measurement
+//	go run ./cmd/bench -bench 'SimBit' -out sim.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"multisite/internal/benchjson"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark selection regex (go test -bench)")
+		benchtime = flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
+		pkg       = flag.String("pkg", "./...", "packages to benchmark")
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		quiet     = flag.Bool("quiet", false, "suppress the raw go test output")
+	)
+	flag.Parse()
+	if err := run(*bench, *benchtime, *pkg, *out, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime, pkg, out string, quiet bool) error {
+	report := benchjson.NewReport(time.Now())
+	if out == "" {
+		out = "BENCH_" + report.Date + ".json"
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchmem", "-benchtime", benchtime, pkg)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	var tee io.Reader = stdout
+	if !quiet {
+		tee = io.TeeReader(stdout, os.Stdout)
+	}
+	parseErr := report.Parse(tee)
+	if parseErr != nil {
+		// Keep draining so go test never blocks on a full pipe before
+		// Wait reaps it.
+		io.Copy(io.Discard, stdout)
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+	if parseErr != nil {
+		return parseErr
+	}
+	if err := report.Validate(); err != nil {
+		return err
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: %d benchmarks -> %s\n", len(report.Benchmarks), out)
+	return nil
+}

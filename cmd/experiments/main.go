@@ -111,9 +111,10 @@ func main() {
 		"ext-flow":   {"Extension: wafer sort vs final test flow", experiments.ExtTestFlow},
 		"ext-family": {"Extension: channel staircase across the extended ITC'02 family", experiments.ExtFamilySweep},
 		"ext-tdc":    {"Extension: test data compression x multi-site", experiments.ExtTDC},
+		"ext-bitval": {"Extension: bit-accurate cross-validation of the fault-cycle model", experiments.ExtBitVal},
 	}
 	order := []string{"fig5", "fig6a", "fig6b", "cost", "fig7a", "fig7b", "table1",
-		"abl1", "abl2", "abl3", "ext-exact", "ext-ctl", "ext-sched", "ext-cost", "ext-flow", "ext-family", "ext-tdc"}
+		"abl1", "abl2", "abl3", "ext-exact", "ext-ctl", "ext-sched", "ext-cost", "ext-flow", "ext-family", "ext-tdc", "ext-bitval"}
 
 	if *list {
 		names := make([]string, 0, len(catalog))

@@ -1,0 +1,123 @@
+// Package benchjson parses `go test -bench` output into a machine-
+// readable record, so the repository's performance trajectory is captured
+// per run (cmd/bench writes BENCH_<date>.json; CI runs it on every push).
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -cpu suffix, e.g. "BenchmarkSweepEngine/workers=4-8".
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op metric.
+	NsPerOp float64 `json:"ns_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem metrics; -1 when the
+	// benchmark did not report them.
+	BytesPerOp  int64 `json:"b_op"`
+	AllocsPerOp int64 `json:"allocs_op"`
+}
+
+// Report is the file cmd/bench emits.
+type Report struct {
+	// Date is the run date, YYYY-MM-DD.
+	Date string `json:"date"`
+	// Go, OS, Arch, CPU echo the `go test` banner when present.
+	Go   string `json:"go,omitempty"`
+	OS   string `json:"goos,omitempty"`
+	Arch string `json:"goarch,omitempty"`
+	CPU  string `json:"cpu,omitempty"`
+	// Benchmarks lists every parsed result in output order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// NewReport returns an empty report stamped with the given time and the
+// running toolchain version.
+func NewReport(now time.Time) *Report {
+	return &Report{Date: now.Format("2006-01-02"), Go: runtime.Version()}
+}
+
+// ParseLine parses one `go test -bench` output line. It returns ok=false
+// for non-benchmark lines (test output, PASS/ok trailers, table prints);
+// banner lines (goos:/goarch:/cpu:/pkg:) update the report header.
+func (r *Report) ParseLine(line string) (Benchmark, bool) {
+	if v, ok := strings.CutPrefix(line, "goos: "); ok {
+		r.OS = strings.TrimSpace(v)
+		return Benchmark{}, false
+	}
+	if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+		r.Arch = strings.TrimSpace(v)
+		return Benchmark{}, false
+	}
+	if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+		r.CPU = strings.TrimSpace(v)
+		return Benchmark{}, false
+	}
+	f := strings.Fields(line)
+	// A result line is "BenchmarkName  N  value unit [value unit ...]".
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: n, NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	if b.NsPerOp < 0 {
+		return Benchmark{}, false
+	}
+	r.Benchmarks = append(r.Benchmarks, b)
+	return b, true
+}
+
+// Parse consumes a full `go test -bench` output stream.
+func (r *Report) Parse(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20) // artifact tables print long lines
+	for sc.Scan() {
+		r.ParseLine(sc.Text())
+	}
+	return sc.Err()
+}
+
+// WriteJSON writes the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Validate returns an error when the report holds no benchmarks — a
+// parse-drift guard for CI (an output format change must fail the step,
+// not silently record an empty trajectory point).
+func (r *Report) Validate() error {
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines parsed")
+	}
+	return nil
+}

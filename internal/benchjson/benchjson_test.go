@@ -1,0 +1,84 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: multisite
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkWrapperFit       	   10000	    102543 ns/op	   35000 B/op	     120 allocs/op
+BenchmarkSimBitD695       	      20	     46220 ns/op	    8187 B/op	      67 allocs/op
+BenchmarkSweepEngine/workers=4-8         	       5	  15260310 ns/op	 1096221 B/op	   21908 allocs/op
+BenchmarkNoMem            	     100	      50.5 ns/op
+
+===== table1 =====
+| SOC | depth | Benchmark-looking cell 12 ns/op |
+some test chatter
+PASS
+ok  	multisite	12.3s
+`
+
+func TestParseSample(t *testing.T) {
+	r := NewReport(time.Date(2026, 7, 26, 12, 0, 0, 0, time.UTC))
+	if err := r.Parse(strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Date != "2026-07-26" || r.OS != "linux" || r.Arch != "amd64" {
+		t.Errorf("header = %+v", r)
+	}
+	if !strings.Contains(r.CPU, "Xeon") {
+		t.Errorf("cpu = %q", r.CPU)
+	}
+	if len(r.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(r.Benchmarks), r.Benchmarks)
+	}
+	b := r.Benchmarks[1]
+	if b.Name != "BenchmarkSimBitD695" || b.Iterations != 20 ||
+		b.NsPerOp != 46220 || b.BytesPerOp != 8187 || b.AllocsPerOp != 67 {
+		t.Errorf("SimBit row = %+v", b)
+	}
+	sub := r.Benchmarks[2]
+	if sub.Name != "BenchmarkSweepEngine/workers=4-8" || sub.AllocsPerOp != 21908 {
+		t.Errorf("sub-benchmark row = %+v", sub)
+	}
+	nomem := r.Benchmarks[3]
+	if nomem.NsPerOp != 50.5 || nomem.BytesPerOp != -1 || nomem.AllocsPerOp != -1 {
+		t.Errorf("no-benchmem row = %+v", nomem)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewReport(time.Now())
+	if err := r.Parse(strings.NewReader(sample)); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(back.Benchmarks) != len(r.Benchmarks) {
+		t.Errorf("round trip lost benchmarks: %d vs %d", len(back.Benchmarks), len(r.Benchmarks))
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	r := NewReport(time.Now())
+	if err := r.Parse(strings.NewReader("PASS\nok  \tmultisite\t1.0s\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err == nil {
+		t.Error("empty report validated")
+	}
+}

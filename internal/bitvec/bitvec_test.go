@@ -1,0 +1,177 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// model is the executable specification: a plain bool slice.
+type model []bool
+
+func (m model) popCount() int {
+	c := 0
+	for _, b := range m {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+func (m model) firstSet() int {
+	for i, b := range m {
+		if b {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m model) shiftRight(k int) {
+	if k > len(m) {
+		k = len(m)
+	}
+	copy(m, m[k:])
+	for i := len(m) - k; i < len(m); i++ {
+		m[i] = false
+	}
+}
+
+func randomPair(rng *rand.Rand, n int) (Vec, model) {
+	v := New(n)
+	m := make(model, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 1 {
+			v.Set(i)
+			m[i] = true
+		}
+	}
+	return v, m
+}
+
+func checkMatch(t *testing.T, v Vec, m model, ctx string) {
+	t.Helper()
+	if v.Len() != len(m) {
+		t.Fatalf("%s: length %d vs model %d", ctx, v.Len(), len(m))
+	}
+	for i := range m {
+		if v.Get(i) != m[i] {
+			t.Fatalf("%s: bit %d = %v, model %v", ctx, i, v.Get(i), m[i])
+		}
+	}
+	if got, want := v.PopCount(), m.popCount(); got != want {
+		t.Fatalf("%s: popcount %d, model %d", ctx, got, want)
+	}
+	if got, want := v.FirstSet(), m.firstSet(); got != want {
+		t.Fatalf("%s: firstset %d, model %d", ctx, got, want)
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		v, m := randomPair(rng, n)
+		checkMatch(t, v, m, "fresh")
+		for op := 0; op < 20; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0:
+				v.Set(i)
+				m[i] = true
+			case 1:
+				v.Flip(i)
+				m[i] = !m[i]
+			case 2:
+				k := rng.Intn(n + 10)
+				v.ShiftRight(k)
+				m.shiftRight(k)
+			case 3:
+				v.Zero()
+				for j := range m {
+					m[j] = false
+				}
+			}
+			checkMatch(t, v, m, "after op")
+		}
+	}
+}
+
+func TestCompareAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(260)
+		a, am := randomPair(rng, n)
+		b := New(n)
+		bm := make(model, n)
+		b.CopyFrom(a)
+		copy(bm, am)
+		// Flip a few bits of b.
+		for k := rng.Intn(4); k > 0; k-- {
+			i := rng.Intn(n)
+			b.Flip(i)
+			bm[i] = !bm[i]
+		}
+		wantCount, wantFirst := 0, -1
+		for i := range am {
+			if am[i] != bm[i] {
+				wantCount++
+				if wantFirst < 0 {
+					wantFirst = i
+				}
+			}
+		}
+		count, first := Compare(a, b)
+		if count != wantCount || first != wantFirst {
+			t.Fatalf("n=%d: Compare = (%d,%d), model (%d,%d)", n, count, first, wantCount, wantFirst)
+		}
+		if !Equal(a, b) != (wantCount > 0) {
+			t.Fatalf("Equal inconsistent with Compare")
+		}
+	}
+}
+
+func TestMaskTailAfterWordWrites(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 130} {
+		v := New(n)
+		for i := range v.Words() {
+			v.Words()[i] = ^uint64(0)
+		}
+		v.MaskTail()
+		if got := v.PopCount(); got != n {
+			t.Errorf("n=%d: popcount after MaskTail = %d", n, got)
+		}
+		if v.FirstSet() != 0 {
+			t.Errorf("n=%d: firstset = %d", n, v.FirstSet())
+		}
+	}
+}
+
+func TestFromWordsSharesStorage(t *testing.T) {
+	w := make([]uint64, WordsFor(100))
+	a := FromWords(w, 100)
+	a.Set(99)
+	if w[1] == 0 {
+		t.Fatal("FromWords did not share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched FromWords length did not panic")
+		}
+	}()
+	FromWords(w, 1000)
+}
+
+func TestShiftRightWordAligned(t *testing.T) {
+	v := New(200)
+	v.Set(64)
+	v.Set(199)
+	v.ShiftRight(64)
+	if !v.Get(0) || !v.Get(135) || v.PopCount() != 2 {
+		t.Errorf("word-aligned shift wrong: popcount=%d", v.PopCount())
+	}
+	v.ShiftRight(300)
+	if v.PopCount() != 0 {
+		t.Error("over-length shift did not clear")
+	}
+}

@@ -183,3 +183,21 @@ func TestExtTDCComposes(t *testing.T) {
 		t.Errorf("2x TDC gives x%.2f throughput, want ≈2x", ratio)
 	}
 }
+
+func TestExtBitValAllAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("family-wide bit-accurate simulation; skipped in -short")
+	}
+	tbl := ExtBitVal()
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (Table 1 SOCs + pnx8550)", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] != "true" {
+			t.Errorf("%s: simulated cycles diverge from the analytic model", row[0])
+		}
+		if row[7] != "true" {
+			t.Errorf("%s: event and bit simulators disagree on the first-fail cycle", row[0])
+		}
+	}
+}

@@ -17,10 +17,14 @@
 package sched
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
+	"multisite/internal/sim"
 	"multisite/internal/tam"
+	"multisite/internal/wrapper"
 )
 
 // YieldModel returns the pass probability of a module (by index into the
@@ -130,6 +134,83 @@ func Gain(arch *tam.Architecture, yield YieldModel) float64 {
 	Reorder(c, yield)
 	after := ExpectedCycles(c, yield)
 	return (before - after) / before
+}
+
+// MeasuredExpectedCycles cross-validates ExpectedCycles against the
+// simulator: it Monte-Carlos the expected single-site abort-on-fail test
+// length by drawing, per trial, an independent pass/fail outcome for every
+// testable module from the yield model, placing a fault at a random chain
+// position and pattern of each failing module, and charging the trial the
+// simulated SOC first-fail cycle — the cycle the abort actually fires,
+// mid-module — or the full test length when the die passes. Because the
+// analytic bound aborts only at the end of the failing module's test, the
+// measured mean is at most the analytic one; the gap is the paper's
+// unmodeled mid-module saving.
+//
+// The fault draw consumes the PRNG in SOC module-index order, independent
+// of the group order, so the same seed yields the same per-trial fault
+// sets before and after a Reorder — MeasuredGain compares paired trials.
+func MeasuredExpectedCycles(arch *tam.Architecture, yield YieldModel, trials int, seed int64) (float64, error) {
+	if trials < 1 {
+		return 0, fmt.Errorf("sched: need at least one trial")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	full := arch.TestCycles()
+	// Hoist the loop-invariant per-module wrapper designs out of the
+	// trial loop: the fault draw only needs (patterns, chains, scan-out).
+	// The rng stream is drawn in SOC module-index order regardless of the
+	// group order, so a Reorder does not perturb the paired trials.
+	testable := arch.SOC.TestableModules()
+	designs := make([]wrapper.Design, len(testable))
+	for i, mi := range testable {
+		for _, g := range arch.Groups {
+			for _, member := range g.Members {
+				if member == mi {
+					designs[i] = arch.Designer.Fit(mi, g.Width)
+				}
+			}
+		}
+	}
+
+	var sum float64
+	faults := make([]sim.Fault, 0, 4)
+	for trial := 0; trial < trials; trial++ {
+		faults = faults[:0]
+		for i, mi := range testable {
+			if rng.Float64() < yield(mi) {
+				continue // module passes
+			}
+			faults = append(faults, sim.FaultAt(rng, mi, arch.SOC.Modules[mi].Patterns, designs[i]))
+		}
+		r, err := sim.Run(arch, sim.Event, faults...)
+		if err != nil {
+			return 0, err
+		}
+		if r.FirstFailCycle >= 0 {
+			sum += float64(r.FirstFailCycle)
+		} else {
+			sum += float64(full)
+		}
+	}
+	return sum / float64(trials), nil
+}
+
+// MeasuredGain is Gain with the simulator in place of the analytic bound:
+// the relative reduction in the Monte-Carlo measured expected abort cycle
+// that ratio-rule reordering achieves, over paired trials (same seed, so
+// identical fault draws on both orders).
+func MeasuredGain(arch *tam.Architecture, yield YieldModel, trials int, seed int64) (float64, error) {
+	before, err := MeasuredExpectedCycles(arch, yield, trials, seed)
+	if err != nil || before == 0 {
+		return 0, err
+	}
+	c := arch.Clone()
+	Reorder(c, yield)
+	after, err := MeasuredExpectedCycles(c, yield, trials, seed)
+	if err != nil {
+		return 0, err
+	}
+	return (before - after) / before, nil
 }
 
 const inf = math.MaxFloat64

@@ -200,3 +200,78 @@ func TestReorderEmptySOC(t *testing.T) {
 		t.Errorf("single-module reorder broke architecture: %v", err)
 	}
 }
+
+func TestMeasuredExpectedCyclesBoundedByAnalytic(t *testing.T) {
+	// The analytic bound aborts at the END of the failing module's test;
+	// the simulator aborts mid-module, so the measured mean must come in
+	// at or below the bound (within Monte-Carlo noise) and at or below
+	// the full test length.
+	a := arch(t)
+	y := UniformYield(0.7)
+	analytic := ExpectedCycles(a, y)
+	measured, err := MeasuredExpectedCycles(a, y, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := float64(a.TestCycles())
+	if measured > full {
+		t.Errorf("measured %g above full length %g", measured, full)
+	}
+	if measured > analytic*1.05 {
+		t.Errorf("measured %g not below analytic bound %g", measured, analytic)
+	}
+	if measured <= 0 {
+		t.Errorf("measured %g not positive", measured)
+	}
+}
+
+func TestMeasuredExpectedCyclesDeterministic(t *testing.T) {
+	a := arch(t)
+	y := VolumeWeightedYield(a, 0.6)
+	m1, err := MeasuredExpectedCycles(a, y, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MeasuredExpectedCycles(a, y, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Errorf("same seed, different means: %g vs %g", m1, m2)
+	}
+}
+
+func TestMeasuredExpectedCyclesPerfectYield(t *testing.T) {
+	a := arch(t)
+	m, err := MeasuredExpectedCycles(a, UniformYield(1), 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != float64(a.TestCycles()) {
+		t.Errorf("perfect yield measured %g, want full %d", m, a.TestCycles())
+	}
+	if _, err := MeasuredExpectedCycles(a, UniformYield(1), 0, 5); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestMeasuredGainPairedTrials(t *testing.T) {
+	// A strongly skewed yield (one fragile module) is where ordering
+	// helps; the measured gain must not be materially negative — paired
+	// trials see identical fault draws on both orders.
+	a := arch(t)
+	fragile := a.SOC.TestableModules()[len(a.SOC.TestableModules())-1]
+	y := func(mi int) float64 {
+		if mi == fragile {
+			return 0.3
+		}
+		return 0.999
+	}
+	g, err := MeasuredGain(a, y, 200, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < -0.01 {
+		t.Errorf("measured gain %g is materially negative", g)
+	}
+}

@@ -1,10 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 
+	"multisite/internal/engine"
 	"multisite/internal/tam"
+	"multisite/internal/wrapper"
 )
 
 // SiteOutcome describes one site of a multi-site touchdown.
@@ -32,27 +36,78 @@ type TouchdownResult struct {
 // sites receive the same stimuli; the test can be aborted only once every
 // contacted site has started failing — the paper's Section 4 argument for
 // why abort-on-fail loses value under multi-site testing. Event-level
-// fidelity is used per site.
+// fidelity is used per site; MultiSiteMode selects the fidelity.
 func MultiSite(arch *tam.Architecture, sites []SiteOutcome) (*TouchdownResult, error) {
+	return MultiSiteMode(arch, sites, Event)
+}
+
+// MultiSiteMode is MultiSite at an explicit fidelity level. BitAccurate
+// sites are independent dies and fan out across a bounded worker pool —
+// with the word-packed engine this makes bit-level touchdown validation
+// of PNX8550-scale chips routine. Event-mode sites stay serial (a site
+// walk is microseconds, not worth a goroutine — same policy as
+// Options.Workers). The result is deterministic: identical for every
+// worker count.
+func MultiSiteMode(arch *tam.Architecture, sites []SiteOutcome, mode Mode) (*TouchdownResult, error) {
+	workers := 1
+	if mode == BitAccurate {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return multiSite(arch, sites, mode, workers)
+}
+
+func multiSite(arch *tam.Architecture, sites []SiteOutcome, mode Mode, workers int) (*TouchdownResult, error) {
 	res := &TouchdownResult{FullCycles: arch.TestCycles(), AbortCycle: -1}
+
+	// Simulate the contacted sites in parallel (each site's Run serial:
+	// site-level parallelism already saturates the pool), then reduce in
+	// site order. A serial request takes the plain loop — no goroutine or
+	// channel setup on Monte-Carlo inner loops (same fast path as RunWith).
+	simSite := func(i int) (int64, error) {
+		if !sites[i].ContactOK {
+			return -1, nil
+		}
+		r, err := RunWith(arch, mode, Options{Workers: 1}, sites[i].Faults...)
+		if err != nil {
+			return 0, fmt.Errorf("site %d: %w", i, err)
+		}
+		return r.FirstFailCycle, nil
+	}
+	var firstFails []int64
+	if workers <= 1 || len(sites) < 2 {
+		firstFails = make([]int64, len(sites))
+		for i := range sites {
+			ff, err := simSite(i)
+			if err != nil {
+				return nil, err
+			}
+			firstFails[i] = ff
+		}
+	} else {
+		var err error
+		firstFails, err = engine.Map(context.Background(), len(sites), workers,
+			func(_ context.Context, i int) (int64, error) { return simSite(i) })
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res.Sites = make([]int64, 0, len(sites))
 	contacted := 0
 	allFailing := true
 	var latestFirstFail int64 = -1
-	for _, site := range sites {
+	for i, site := range sites {
 		if !site.ContactOK {
 			res.Sites = append(res.Sites, -1)
 			continue
 		}
 		contacted++
-		r, err := Run(arch, Event, site.Faults...)
-		if err != nil {
-			return nil, err
-		}
-		res.Sites = append(res.Sites, r.FirstFailCycle)
-		if r.FirstFailCycle < 0 {
+		ff := firstFails[i]
+		res.Sites = append(res.Sites, ff)
+		if ff < 0 {
 			allFailing = false
-		} else if r.FirstFailCycle > latestFirstFail {
-			latestFirstFail = r.FirstFailCycle
+		} else if ff > latestFirstFail {
+			latestFirstFail = ff
 		}
 	}
 	switch {
@@ -81,26 +136,35 @@ func RandomSiteOutcomes(arch *tam.Architecture, rng *rand.Rand, n, pins int, con
 		out[i].ContactOK = rng.Float64() < pcDev
 		if rng.Float64() >= yield {
 			mi := testable[rng.Intn(len(testable))]
-			m := &arch.SOC.Modules[mi]
-			f := Fault{
-				Module:       mi,
-				FirstPattern: rng.Intn(m.Patterns),
-			}
-			// Place the fault on a random chain position of the
-			// module's current wrapper design.
-			if gi, ok := groupOf(arch, mi); ok {
-				d := arch.Designer.Fit(mi, arch.Groups[gi].Width)
-				if d.Chains > 0 {
-					f.Chain = rng.Intn(d.Chains)
-					if so := d.ScanOut[f.Chain]; so > 0 {
-						f.Bit = rng.Intn(so)
-					}
-				}
-			}
-			out[i].Faults = []Fault{f}
+			out[i].Faults = []Fault{RandomFault(arch, rng, mi)}
 		}
 	}
 	return out
+}
+
+// RandomFault draws a fault for module mi: a uniformly random first
+// pattern, placed on a valid chain position of the module's current
+// wrapper design in arch. The rng consumption order (pattern, chain,
+// bit) is shared by every Monte-Carlo fault source in the repository.
+func RandomFault(arch *tam.Architecture, rng *rand.Rand, mi int) Fault {
+	if gi, ok := groupOf(arch, mi); ok {
+		return FaultAt(rng, mi, arch.SOC.Modules[mi].Patterns,
+			arch.Designer.Fit(mi, arch.Groups[gi].Width))
+	}
+	return Fault{Module: mi, FirstPattern: rng.Intn(arch.SOC.Modules[mi].Patterns)}
+}
+
+// FaultAt is RandomFault for callers that cache the per-module wrapper
+// designs across many draws (e.g. per-trial Monte-Carlo loops).
+func FaultAt(rng *rand.Rand, mi, patterns int, d wrapper.Design) Fault {
+	f := Fault{Module: mi, FirstPattern: rng.Intn(patterns)}
+	if d.Chains > 0 {
+		f.Chain = rng.Intn(d.Chains)
+		if so := d.ScanOut[f.Chain]; so > 0 {
+			f.Bit = rng.Intn(so)
+		}
+	}
+	return f
 }
 
 func groupOf(arch *tam.Architecture, mi int) (int, bool) {
@@ -118,25 +182,39 @@ func groupOf(arch *tam.Architecture, mi int) (int, bool) {
 // fraction of the test length an abort-on-fail tester saves at n sites —
 // the simulated counterpart of the paper's Fig. 7(b), without the
 // "failing devices take zero time" idealization of Eq. 4.4.
+//
+// The per-touchdown site outcomes are drawn serially (the PRNG stream is
+// part of the function's contract: results are stable for a given seed),
+// then the touchdown simulations fan out across the worker pool and
+// reduce in touchdown order, so the returned mean is bit-identical to a
+// serial run.
 func ExpectedAbortSavings(arch *tam.Architecture, n, pins int, contactYield, yield float64, touchdowns int, seed int64) (float64, error) {
 	if touchdowns < 1 {
 		return 0, fmt.Errorf("sim: need at least one touchdown")
 	}
 	rng := rand.New(rand.NewSource(seed))
-	var saved float64
+	outcomes := make([][]SiteOutcome, touchdowns)
+	for td := range outcomes {
+		outcomes[td] = RandomSiteOutcomes(arch, rng, n, pins, contactYield, yield)
+	}
 	full := float64(arch.TestCycles())
-	for td := 0; td < touchdowns; td++ {
-		sites := RandomSiteOutcomes(arch, rng, n, pins, contactYield, yield)
-		r, err := MultiSite(arch, sites)
-		if err != nil {
-			return 0, err
-		}
-		switch {
-		case r.AbortCycle < 0:
-			saved += 1 // no contact: whole manufacturing test skipped
-		default:
-			saved += (full - float64(r.AbortCycle)) / full
-		}
+	fractions, err := engine.Map(context.Background(), touchdowns, 0,
+		func(_ context.Context, td int) (float64, error) {
+			r, err := multiSite(arch, outcomes[td], Event, 1)
+			if err != nil {
+				return 0, err
+			}
+			if r.AbortCycle < 0 {
+				return 1, nil // no contact: whole manufacturing test skipped
+			}
+			return (full - float64(r.AbortCycle)) / full, nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	var saved float64
+	for _, f := range fractions {
+		saved += f
 	}
 	return saved / float64(touchdowns), nil
 }

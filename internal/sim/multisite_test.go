@@ -135,3 +135,57 @@ func TestExpectedAbortSavingsPerfectYield(t *testing.T) {
 		t.Errorf("perfect yield saving = %g, want 0", s)
 	}
 }
+
+func TestMultiSiteModeBitMatchesEvent(t *testing.T) {
+	// Bit-level touchdown fidelity: same abort semantics, same cycles —
+	// the whole-register packed engine makes this cheap enough to pin.
+	arch := d695Arch(t, 64)
+	mi := arch.Groups[0].Members[0]
+	m := &arch.SOC.Modules[mi]
+	sites := []SiteOutcome{
+		{ContactOK: true, Faults: []Fault{{Module: mi, FirstPattern: 0}}},
+		{ContactOK: true, Faults: []Fault{{Module: mi, FirstPattern: m.Patterns - 1}}},
+		{ContactOK: false},
+	}
+	ev, err := MultiSiteMode(arch, sites, Event)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit, err := MultiSiteMode(arch, sites, BitAccurate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.AbortCycle != bit.AbortCycle || ev.FullCycles != bit.FullCycles {
+		t.Errorf("abort/full: event (%d,%d) vs bit (%d,%d)",
+			ev.AbortCycle, ev.FullCycles, bit.AbortCycle, bit.FullCycles)
+	}
+	for i := range ev.Sites {
+		if ev.Sites[i] != bit.Sites[i] {
+			t.Errorf("site %d: event %d vs bit %d", i, ev.Sites[i], bit.Sites[i])
+		}
+	}
+}
+
+func TestMultiSiteDeterministicAcrossWorkers(t *testing.T) {
+	arch := d695Arch(t, 64)
+	rng := rand.New(rand.NewSource(9))
+	sites := RandomSiteOutcomes(arch, rng, 8, 32, 0.999, 0.7)
+	want, err := multiSite(arch, sites, Event, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := multiSite(arch, sites, Event, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.AbortCycle != want.AbortCycle || len(got.Sites) != len(want.Sites) {
+			t.Fatalf("workers=%d: abort %d vs serial %d", workers, got.AbortCycle, want.AbortCycle)
+		}
+		for i := range want.Sites {
+			if got.Sites[i] != want.Sites[i] {
+				t.Errorf("workers=%d site %d: %d vs serial %d", workers, i, got.Sites[i], want.Sites[i])
+			}
+		}
+	}
+}

@@ -2,25 +2,33 @@
 // through the designed test infrastructure. It exists to cross-validate
 // the analytic test-time model the optimizer relies on: the simulator
 // actually moves stimulus and response bits through the wrapper chains of
-// every module, cycle by cycle, following the pipelined
-// shift-in/capture/shift-out protocol, and reports the cycle at which the
-// test completes (and, with an injected fault, the cycle at which the
-// first failing response bit reaches the ATE — the quantity behind the
-// paper's abort-on-fail analysis).
+// every module, following the pipelined shift-in/capture/shift-out
+// protocol, and reports the cycle at which the test completes (and, with
+// an injected fault, the cycle at which the first failing response bit
+// reaches the ATE — the quantity behind the paper's abort-on-fail
+// analysis).
 //
-// Two fidelity levels are provided. BitAccurate shifts real bits through
-// per-chain registers and compares responses against an independently
-// computed expectation, so an off-by-one in the protocol or in the wrapper
-// design surfaces as a miscompare. Event mode walks the same pipeline
-// schedule without materializing bits, which is fast enough for the
-// 275-module PNX8550-class chips.
+// Two fidelity levels are provided. BitAccurate moves real bits through
+// per-chain response registers and compares them against an independently
+// derived expectation, so an off-by-one in the protocol or in the wrapper
+// design surfaces as a miscompare. The registers are word-packed
+// (internal/bitvec) and each shift window is processed as whole 64-bit
+// words — XOR + popcount for the mismatch count, a trailing-zero scan for
+// the first-fail cycle — and modules fan out across a bounded worker
+// pool, so full bit-level validation of the 275-module PNX8550-class
+// chips runs in seconds (it used to be infeasible beyond small SOCs; see
+// DESIGN.md §7). Event mode walks the same pipeline schedule without
+// materializing bits and remains the cheap default for Monte-Carlo use.
 package sim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
-	"math/rand"
+	"runtime"
 
+	"multisite/internal/bitvec"
+	"multisite/internal/engine"
 	"multisite/internal/tam"
 	"multisite/internal/wrapper"
 )
@@ -84,43 +92,109 @@ type Result struct {
 	FirstFailCycle int64
 }
 
+// Options tunes a simulation run.
+type Options struct {
+	// Workers bounds the per-module worker pool. 0 picks the default:
+	// GOMAXPROCS for BitAccurate (module simulations are independent and
+	// CPU-bound), serial for Event (a module event walk is microseconds,
+	// not worth a goroutine). 1 forces a serial run.
+	Workers int
+}
+
 // Run simulates test application for the architecture, optionally with
-// injected faults, and returns the observed cycle counts.
+// injected faults, and returns the observed cycle counts. Results are
+// deterministic: identical for every worker count.
 func Run(arch *tam.Architecture, mode Mode, faults ...Fault) (*Result, error) {
-	byModule := make(map[int][]Fault)
-	for _, f := range faults {
-		byModule[f.Module] = append(byModule[f.Module], f)
+	return RunWith(arch, mode, Options{}, faults...)
+}
+
+// RunWith is Run with explicit options.
+func RunWith(arch *tam.Architecture, mode Mode, opts Options, faults ...Fault) (*Result, error) {
+	var byModule map[int][]Fault
+	if len(faults) > 0 {
+		byModule = make(map[int][]Fault, len(faults))
+		for _, f := range faults {
+			byModule[f.Module] = append(byModule[f.Module], f)
+		}
 	}
-	res := &Result{FirstFailCycle: -1}
+
+	// Flatten the (group, member) pairs: module simulations are
+	// independent, only the assembly below is sequential.
+	type slot struct{ gi, mi int }
+	total := 0
+	for gi := range arch.Groups {
+		total += len(arch.Groups[gi].Members)
+	}
+	slots := make([]slot, 0, total)
 	for gi, g := range arch.Groups {
-		gr := GroupResult{Group: gi}
 		for _, mi := range g.Members {
-			d := arch.Designer.Fit(mi, g.Width)
-			var mr ModuleResult
-			var err error
-			switch mode {
-			case BitAccurate:
-				mr, err = simulateBits(arch, mi, d, byModule[mi])
-			default:
-				mr, err = simulateEvents(arch, mi, d, byModule[mi])
-			}
+			slots = append(slots, slot{gi, mi})
+		}
+	}
+	simOne := func(s slot) (ModuleResult, error) {
+		d := arch.Designer.Fit(s.mi, arch.Groups[s.gi].Width)
+		if mode == BitAccurate {
+			return simulateBits(arch, s.mi, d, byModule[s.mi])
+		}
+		return simulateEvents(arch, s.mi, d, byModule[s.mi])
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+		if mode == BitAccurate {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	mrs := make([]ModuleResult, len(slots))
+	if workers > 1 && len(slots) > 1 {
+		if _, err := engine.Map(context.Background(), len(slots), workers,
+			func(_ context.Context, i int) (struct{}, error) {
+				mr, err := simOne(slots[i])
+				if err != nil {
+					return struct{}{}, fmt.Errorf("group %d module %d: %w", slots[i].gi, slots[i].mi, err)
+				}
+				mrs[i] = mr
+				return struct{}{}, nil
+			}); err != nil {
+			return nil, err
+		}
+	} else {
+		for i, s := range slots {
+			mr, err := simOne(s)
 			if err != nil {
-				return nil, fmt.Errorf("group %d module %d: %w", gi, mi, err)
+				return nil, fmt.Errorf("group %d module %d: %w", s.gi, s.mi, err)
 			}
+			mrs[i] = mr
+		}
+	}
+
+	// Deterministic assembly in test order, independent of which worker
+	// finished first: group fills are prefix sums of the per-module cycle
+	// counts, and the SOC first-fail is the minimum over the group-offset
+	// module first-fails.
+	res := &Result{FirstFailCycle: -1, Groups: make([]GroupResult, len(arch.Groups))}
+	i := 0
+	for gi := range arch.Groups {
+		gr := &res.Groups[gi]
+		gr.Group = gi
+		gr.Modules = make([]ModuleResult, 0, len(arch.Groups[gi].Members))
+		for range arch.Groups[gi].Members {
+			mr := mrs[i]
+			mr.Module = slots[i].mi
+			i++
 			if mr.FirstFailCycle >= 0 {
 				abs := gr.Cycles + mr.FirstFailCycle
 				if res.FirstFailCycle < 0 || abs < res.FirstFailCycle {
 					res.FirstFailCycle = abs
 				}
 			}
-			mr.Module = mi
 			gr.Cycles += mr.Cycles
 			gr.Modules = append(gr.Modules, mr)
 		}
 		if gr.Cycles > res.Cycles {
 			res.Cycles = gr.Cycles
 		}
-		res.Groups = append(res.Groups, gr)
 	}
 	return res, nil
 }
@@ -139,6 +213,14 @@ func simulateEvents(arch *tam.Architecture, mi int, d wrapper.Design, faults []F
 	if maxOut > overlap {
 		overlap = maxOut
 	}
+	// Hoist the fault validity filtering out of the pattern loop: only
+	// faults landing on a real chain position are ever observable.
+	var live []Fault
+	for _, f := range faults {
+		if f.Chain >= 0 && f.Chain < d.Chains && f.Bit >= 0 && f.Bit < d.ScanOut[f.Chain] {
+			live = append(live, f)
+		}
+	}
 	var cycles int64
 	cycles += maxIn // load pattern 1
 	for i := 0; i < p; i++ {
@@ -149,7 +231,7 @@ func simulateEvents(arch *tam.Architecture, mi int, d wrapper.Design, faults []F
 			cycles += maxOut // final response drain
 		}
 		if mr.FirstFailCycle < 0 {
-			if c, bad := eventFailCycle(d, faults, i, cycles, maxOut, overlap, i == p-1); bad {
+			if c, bad := eventFailCycle(live, i, cycles, maxOut, overlap, i == p-1); bad {
 				mr.FirstFailCycle = c
 				mr.Mismatches++ // at least one; event mode does not count bits
 			}
@@ -162,18 +244,16 @@ func simulateEvents(arch *tam.Architecture, mi int, d wrapper.Design, faults []F
 // eventFailCycle locates, without bit simulation, the cycle at which a
 // fault in pattern i becomes visible: the response of pattern i emerges
 // during the shift window that follows its capture; the faulty bit at
-// position b of a chain appears after b+1 shift cycles.
-func eventFailCycle(d wrapper.Design, faults []Fault, pattern int, cyclesAfterWindow, maxOut, overlap int64, last bool) (int64, bool) {
+// position b of a chain appears after b+1 shift cycles. The faults slice
+// is pre-filtered to observable chain positions.
+func eventFailCycle(faults []Fault, pattern int, cyclesAfterWindow, maxOut, overlap int64, last bool) (int64, bool) {
 	window := overlap
 	if last {
 		window = maxOut
 	}
 	best := int64(-1)
 	for _, f := range faults {
-		if pattern < f.FirstPattern || f.Chain >= d.Chains {
-			continue
-		}
-		if f.Bit >= d.ScanOut[f.Chain] {
+		if pattern < f.FirstPattern {
 			continue
 		}
 		// The shift window ended at cyclesAfterWindow; the bit
@@ -186,12 +266,23 @@ func eventFailCycle(d wrapper.Design, faults []Fault, pattern int, cyclesAfterWi
 	return best, best >= 0
 }
 
-// simulateBits shifts real bits. Each wrapper chain's response path is a
-// shift register of its scan-out length; captured responses are a
-// pseudo-random function of the (module, pattern, chain) identity standing
-// in for the core's logic, and the ATE predicts each emerging bit
-// independently, so any slip in the shift windows, capture ordering, or
-// bit alignment produces miscompares.
+// chainFault is one injected fault localized to its wrapper chain.
+type chainFault struct{ bit, firstPattern int }
+
+// simulateBits moves real bits, word-packed. Each wrapper chain's response
+// path is a packed shift register of its scan-out length; captured
+// responses are a pseudo-random function of the (module, pattern, chain)
+// identity standing in for the core's logic, and the ATE predicts each
+// emerging bit independently, so any slip in the shift windows, capture
+// ordering, or bit alignment produces miscompares.
+//
+// Every comparing shift window spans at least MaxOut cycles, which is at
+// least every chain's scan-out length, so a window always drains the full
+// register: the per-cycle shift loop of the naïve simulator (retained as
+// the reference in reference_test.go) collapses into one whole-register
+// word-level compare per (pattern, chain) — XOR + popcount for the
+// mismatch count, a trailing-zero scan for the first failing bit — and
+// the window itself is just a cycle-counter advance.
 func simulateBits(arch *tam.Architecture, mi int, d wrapper.Design, faults []Fault) (ModuleResult, error) {
 	mr := ModuleResult{FirstFailCycle: -1}
 	m := &arch.SOC.Modules[mi]
@@ -209,96 +300,122 @@ func simulateBits(arch *tam.Architecture, mi int, d wrapper.Design, faults []Fau
 		overlap = maxOut
 	}
 
-	// DUT state: per-chain registers holding the response bits being
-	// shifted out. The DUT applies any injected fault at capture; the
-	// ATE-side expectation (expect) is derived independently at capture
-	// time without faults, so faults surface as miscompares at the
-	// exact cycle their bit reaches the output.
-	regs := make([][]bool, c)
-	expect := make([][]bool, c)
-	for i := range regs {
-		regs[i] = make([]bool, d.ScanOut[i])
-		expect[i] = make([]bool, d.ScanOut[i])
+	// DUT state: per-chain packed registers holding the response bits
+	// being shifted out (regs), and the ATE-side expectation (expect),
+	// derived independently at capture time without faults. Both sides of
+	// every chain are carved from one slab allocation.
+	words := 0
+	for ch := 0; ch < c; ch++ {
+		words += bitvec.WordsFor(d.ScanOut[ch])
 	}
-	stim := newStimStream(arch.SOC.Name, mi)
+	slab := make([]uint64, 2*words)
+	regs := make([]bitvec.Vec, c)
+	expect := make([]bitvec.Vec, c)
+	off := 0
+	carve := func(n int) bitvec.Vec {
+		nw := bitvec.WordsFor(n)
+		v := bitvec.FromWords(slab[off:off+nw:off+nw], n)
+		off += nw
+		return v
+	}
+	for ch := 0; ch < c; ch++ {
+		regs[ch] = carve(d.ScanOut[ch])
+	}
+	for ch := 0; ch < c; ch++ {
+		expect[ch] = carve(d.ScanOut[ch])
+	}
 
-	var cycle int64
-	shiftWindow := func(window int, outPattern int) {
-		// outPattern < 0: nothing being shifted out (initial load).
-		for w := 0; w < window; w++ {
-			cycle++
-			for ch := 0; ch < c; ch++ {
-				reg := regs[ch]
-				if len(reg) == 0 {
-					continue
-				}
-				outBit := reg[0]
-				copy(reg, reg[1:])
-				reg[len(reg)-1] = false
-				if outPattern >= 0 && w < d.ScanOut[ch] {
-					if outBit != expect[ch][w] {
-						mr.Mismatches++
-						if mr.FirstFailCycle < 0 {
-							mr.FirstFailCycle = cycle
-						}
+	// Localize faults to their chain once per module; the captures used
+	// to rescan the full fault slice for every (pattern, chain) pair.
+	var chainFaults [][]chainFault
+	if len(faults) > 0 {
+		chainFaults = make([][]chainFault, c)
+		for _, f := range faults {
+			if f.Chain >= 0 && f.Chain < c && f.Bit >= 0 && f.Bit < d.ScanOut[f.Chain] {
+				chainFaults[f.Chain] = append(chainFaults[f.Chain], chainFault{f.Bit, f.FirstPattern})
+			}
+		}
+	}
+
+	stim := newStimStream(arch.SOC.Name, mi)
+	cycle := int64(maxIn) // load pattern 0: registers are zero, nothing compared
+	for i := 0; i < p; i++ {
+		cycle++ // capture pattern i
+		window := overlap
+		if i == p-1 {
+			window = maxOut // final response drain
+		}
+		// Process the whole shift window: the bit at register position b
+		// of any chain reaches the ATE at cycle+b+1.
+		windowFirst := -1
+		for ch := 0; ch < c; ch++ {
+			if d.ScanOut[ch] == 0 {
+				continue
+			}
+			e := expect[ch]
+			stim.fill(e, i, ch)
+			r := regs[ch]
+			r.CopyFrom(e)
+			if chainFaults != nil {
+				for _, f := range chainFaults[ch] {
+					if i >= f.firstPattern {
+						r.Flip(f.bit)
 					}
 				}
 			}
-		}
-	}
-	capture := func(pattern int) {
-		cycle++
-		for ch := 0; ch < c; ch++ {
-			resp := responseBits(arch.SOC.Name, mi, pattern, ch, d.ScanOut[ch], stim)
-			copy(expect[ch], resp)
-			for _, f := range faults {
-				if f.Chain == ch && pattern >= f.FirstPattern && f.Bit < len(resp) {
-					resp[f.Bit] = !resp[f.Bit]
+			count, first := bitvec.Compare(r, e)
+			if count > 0 {
+				mr.Mismatches += count
+				if windowFirst < 0 || first < windowFirst {
+					windowFirst = first
 				}
 			}
-			regs[ch] = resp
+			// The register has fully drained (window ≥ MaxOut ≥ ScanOut);
+			// the next capture overwrites it whole, so no zeroing needed.
 		}
-	}
-
-	shiftWindow(maxIn, -1) // load pattern 0
-	for i := 0; i < p; i++ {
-		capture(i)
-		if i < p-1 {
-			shiftWindow(overlap, i)
-		} else {
-			shiftWindow(maxOut, i)
+		if windowFirst >= 0 && mr.FirstFailCycle < 0 {
+			mr.FirstFailCycle = cycle + int64(windowFirst) + 1
 		}
+		cycle += int64(window)
 	}
 	mr.Cycles = cycle
 	return mr, nil
 }
 
-// stimStream is a deterministic stimulus source keyed by SOC and module.
+// stimStream is a deterministic, counter-based stimulus source keyed by
+// SOC and module. The golden response of a (pattern, chain) pair is a
+// splitmix64 stream seeded from the identity, emitting 64 response bits
+// per step into the caller's buffer — the seed derivation is hoisted to
+// stream construction, and filling allocates nothing (the old path built
+// an fnv hasher, a formatted key string, and a rand.Rand per pair).
 type stimStream struct {
-	socName string
-	module  int
+	base uint64
 }
 
-func newStimStream(socName string, mi int) *stimStream {
-	return &stimStream{socName: socName, module: mi}
-}
-
-// seedFor derives a stable 64-bit seed for a (pattern, chain) pair.
-func (s *stimStream) seedFor(pattern, chain int) int64 {
+func newStimStream(socName string, mi int) stimStream {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d/%d/%d", s.socName, s.module, pattern, chain)
-	return int64(h.Sum64())
+	h.Write([]byte(socName))
+	return stimStream{base: h.Sum64() ^ mix64(uint64(mi)+0x5bf03635)}
 }
 
-// responseBits computes the golden response of a chain for a pattern: a
-// pseudo-random function of the (module, pattern, chain) identity standing
-// in for the core's logic function of the applied stimulus. Index 0 is the
-// bit nearest the scan output.
-func responseBits(socName string, mi, pattern, chain, n int, s *stimStream) []bool {
-	rng := rand.New(rand.NewSource(s.seedFor(pattern, chain) ^ 0x5bf03635))
-	out := make([]bool, n)
-	for i := range out {
-		out[i] = rng.Int63()&1 == 1
+// mix64 is the splitmix64 finalizer: a bijective 64-bit hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fill writes the golden response of (pattern, chain) into v, 64 bits per
+// splitmix64 step. Index 0 is the bit nearest the scan output.
+func (s stimStream) fill(v bitvec.Vec, pattern, chain int) {
+	state := s.base ^ mix64(uint64(pattern)<<32|uint64(uint32(chain)))
+	w := v.Words()
+	for i := range w {
+		state += 0x9e3779b97f4a7c15
+		w[i] = mix64(state)
 	}
-	return out
+	v.MaskTail()
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 
 	"multisite/internal/ate"
@@ -168,13 +169,22 @@ func TestFaultInSecondGroupMember(t *testing.T) {
 func TestFaultOutOfRangeIgnored(t *testing.T) {
 	arch := d695Arch(t, 64)
 	mi := arch.Groups[0].Members[0]
-	// Chain index beyond the design: no detection, no crash.
-	res, err := Run(arch, BitAccurate, Fault{Module: mi, Chain: 9999, FirstPattern: 0})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.FirstFailCycle != -1 {
-		t.Errorf("out-of-range fault detected at %d", res.FirstFailCycle)
+	for _, f := range []Fault{
+		{Module: mi, Chain: 9999, FirstPattern: 0},  // chain beyond the design
+		{Module: mi, Chain: -1, FirstPattern: 0},    // negative chain
+		{Module: mi, Bit: -1, FirstPattern: 0},      // negative bit
+		{Module: mi, Bit: 1 << 30, FirstPattern: 0}, // bit beyond the chain
+	} {
+		for _, mode := range []Mode{Event, BitAccurate} {
+			// No detection, no crash, in either mode.
+			res, err := Run(arch, mode, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FirstFailCycle != -1 {
+				t.Errorf("mode %d: out-of-range fault %+v detected at %d", mode, f, res.FirstFailCycle)
+			}
+		}
 	}
 }
 
@@ -200,6 +210,68 @@ func TestMismatchCountMatchesFaultSpan(t *testing.T) {
 	// One inverted bit per pattern: exactly Patterns mismatches.
 	if mr.Mismatches != m.Patterns {
 		t.Errorf("mismatches = %d, want %d", mr.Mismatches, m.Patterns)
+	}
+}
+
+// TestEventBitFirstFailAgreeAcrossFamily is the fleet-scale differential
+// the packed engine exists for: on every benchmark SOC of the paper's
+// Table 1 plus PNX8550, seeded random faults must yield the same
+// FirstFailCycle (and test length) from the analytic event walk and from
+// real bit movement. Before the word-packed simulator this was a spot
+// check on d695; now the whole family runs per test invocation.
+func TestEventBitFirstFailAgreeAcrossFamily(t *testing.T) {
+	cases := []struct {
+		name     string
+		channels int
+		depth    int64
+	}{
+		{"d695", 256, 64 * benchdata.Ki},
+		{"p22810", 512, 512 * benchdata.Ki},
+		{"p34392", 512, benchdata.Mi},
+		{"p93791", 512, 2 * benchdata.Mi},
+		{"pnx8550", 512, 7 * benchdata.Mi},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && tc.name != "d695" {
+				t.Skip("short mode: d695 only")
+			}
+			arch, err := tam.DesignStep1(benchdata.Shared(tc.name),
+				ate.ATE{Channels: tc.channels, Depth: tc.depth, ClockHz: 5e6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(tc.channels) + tc.depth))
+			faults := randomFaults(rng, arch, 3)
+			ev, err := Run(arch, Event, faults...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bit, err := Run(arch, BitAccurate, faults...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Cycles != bit.Cycles {
+				t.Errorf("cycles: event %d vs bit %d", ev.Cycles, bit.Cycles)
+			}
+			if bit.Cycles != arch.TestCycles() {
+				t.Errorf("bit cycles %d vs analytic %d", bit.Cycles, arch.TestCycles())
+			}
+			if ev.FirstFailCycle != bit.FirstFailCycle {
+				t.Errorf("faults %+v: first-fail event %d vs bit %d",
+					faults, ev.FirstFailCycle, bit.FirstFailCycle)
+			}
+			for gi := range ev.Groups {
+				for i := range ev.Groups[gi].Modules {
+					e, b := ev.Groups[gi].Modules[i], bit.Groups[gi].Modules[i]
+					if e.Cycles != b.Cycles || e.FirstFailCycle != b.FirstFailCycle {
+						t.Errorf("group %d module %d: event (%d,%d) vs bit (%d,%d)",
+							gi, e.Module, e.Cycles, e.FirstFailCycle, b.Cycles, b.FirstFailCycle)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -57,9 +57,10 @@ type Image struct {
 
 // Build lays out the architecture's test programs in vector memory.
 func Build(arch *tam.Architecture) (*Image, error) {
-	img := &Image{Depth: arch.Depth}
+	img := &Image{Depth: arch.Depth, Groups: make([]GroupImage, 0, len(arch.Groups))}
 	for gi, g := range arch.Groups {
-		gimg := GroupImage{Group: gi, Wires: g.Width}
+		gimg := GroupImage{Group: gi, Wires: g.Width,
+			Segments: make([]Segment, 0, len(g.Members))}
 		var row int64
 		for i, mi := range g.Members {
 			d := arch.Designer.Fit(mi, g.Width)
