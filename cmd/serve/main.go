@@ -1,0 +1,76 @@
+// Command serve runs the optimization-as-a-service HTTP server: the
+// paper's two-step multi-site optimizer and the sweep grid behind a JSON
+// API with a content-addressed result cache, so CI jobs, dashboards, and
+// what-if tools can query throughput-optimal configurations without
+// linking the library.
+//
+//	serve -addr :8080
+//	curl -s localhost:8080/v1/socs
+//	curl -s -X POST localhost:8080/v1/optimize \
+//	    -d '{"soc":"d695","channels":256,"depth":"64K"}'
+//	curl -sN -X POST localhost:8080/v1/sweep \
+//	    -d '{"soc":"pnx8550","depths":"5M:14M:1M","contact_yields":[1,0.999,0.99]}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting (bounded by
+// -drain).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"multisite/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "per-sweep engine worker pool size (0 = GOMAXPROCS)")
+		concurrency = flag.Int("concurrency", 0, "server-wide concurrent-optimization budget (0 = 2x GOMAXPROCS)")
+		cacheCap    = flag.Int("cache-entries", 0, "result cache capacity in entries (0 = default)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request compute timeout (0 = none)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	s := server.New(server.Options{
+		Workers:        *workers,
+		Concurrency:    *concurrency,
+		CacheCapacity:  *cacheCap,
+		RequestTimeout: *timeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure to serve.
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "serve: %s, draining for up to %s\n", got, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

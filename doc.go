@@ -9,5 +9,7 @@
 // and bench_test.go in this directory regenerates every table and figure
 // of the paper's evaluation. Fleet-scale sweeps — SOC × ATE × cost-model
 // grids — run on the concurrent engine (internal/engine, README.md) with
-// results byte-identical at any worker count.
+// results byte-identical at any worker count, and cmd/serve exposes the
+// optimizer and sweep grid as a long-running HTTP/JSON service behind a
+// content-addressed result cache (internal/server, DESIGN.md §8).
 package multisite

@@ -14,16 +14,16 @@ import (
 // ATE describes the tester resources available for multi-site testing.
 type ATE struct {
 	// Channels is the total number of digital ATE channels N.
-	Channels int
+	Channels int `json:"channels"`
 	// Depth is the vector memory depth per channel D, in vectors
 	// (equivalently test clock cycles, one vector per cycle).
-	Depth int64
+	Depth int64 `json:"depth"`
 	// ClockHz is the test clock frequency.
-	ClockHz float64
+	ClockHz float64 `json:"clock_hz"`
 	// Broadcast reports whether the ATE can broadcast stimulus channels
 	// to multiple sites. With broadcast, the k/2 input channels of a
 	// site are shared across all sites.
-	Broadcast bool
+	Broadcast bool `json:"broadcast"`
 }
 
 // Validate checks the ATE description.
@@ -84,10 +84,10 @@ type ProbeStation struct {
 	// IndexTime ti is the time to step the probe card to the next set
 	// of dies, in seconds. The paper treats it as a constant of the
 	// probe station.
-	IndexTime float64
+	IndexTime float64 `json:"index_time"`
 	// ContactTime tc is the duration of the contact test, in seconds.
 	// All terminals are contact-tested simultaneously, so it is constant.
-	ContactTime float64
+	ContactTime float64 `json:"contact_time"`
 }
 
 // Validate checks the probe station constants.

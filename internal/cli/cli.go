@@ -6,6 +6,7 @@ package cli
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -36,10 +37,20 @@ func ParseSize(s string) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bad size %q: %v", s, err)
 	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
 	if v < 0 {
 		return 0, fmt.Errorf("negative size %q", s)
 	}
-	return int64(v * float64(mult)), nil
+	f := v * float64(mult)
+	// Guard the int64 conversion: out-of-range float-to-int is
+	// implementation-defined (in practice math.MinInt64) and must never
+	// pass as a valid size. 1<<63 is exactly representable as a float64.
+	if f >= float64(1<<63) {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return int64(f), nil
 }
 
 // FormatSize renders a size in the paper's style: exact multiples of M or
@@ -80,9 +91,14 @@ func LoadSOC(benchmark, file string) (*soc.SOC, error) {
 	}
 }
 
+// MaxSizeListEntries bounds a single range expansion in ParseSizeList —
+// far beyond any useful sweep axis, small enough that untrusted input
+// cannot turn a short range string into an allocation bomb.
+const MaxSizeListEntries = 65536
+
 // ParseSizeList parses a comma-separated list of sizes ("48K,64K,128K") or
 // a start:stop:step range ("5M:14M:1M", inclusive ends) into depths for a
-// sweep grid.
+// sweep grid. Range expansions are bounded by MaxSizeListEntries.
 func ParseSizeList(s string) ([]int64, error) {
 	if s == "" {
 		return nil, nil
@@ -103,6 +119,13 @@ func ParseSizeList(s string) ([]int64, error) {
 		start, stop, step := v[0], v[1], v[2]
 		if step <= 0 || start > stop {
 			return nil, fmt.Errorf("bad size range %q: need start <= stop and step > 0", s)
+		}
+		// Bound the expansion before allocating: this parser sits on the
+		// HTTP request path (cli.SizeList), where a 20-byte range string
+		// must not be able to demand petabytes of entries.
+		if count := (stop-start)/step + 1; count > MaxSizeListEntries {
+			return nil, fmt.Errorf("size range %q expands to %d entries; the limit is %d",
+				s, count, MaxSizeListEntries)
 		}
 		// Same inclusive expansion as engine.DepthRange, inlined so the
 		// flag-parsing layer does not depend on the sweep engine.

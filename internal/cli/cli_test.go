@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -219,5 +220,114 @@ func TestStartProfilesBadPath(t *testing.T) {
 func TestStartProfilesBadMemPathFailsEagerly(t *testing.T) {
 	if _, err := StartProfiles("", filepath.Join(t.TempDir(), "no", "such", "dir", "m")); err == nil {
 		t.Error("unwritable heap profile path accepted at start")
+	}
+}
+
+func TestSizeJSON(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{`"64K"`, 64 << 10},
+		{`"7M"`, 7 << 20},
+		{`"1.5M"`, 3 << 19},
+		{`65536`, 65536},
+		{`"100000"`, 100000},
+	}
+	for _, c := range cases {
+		var s Size
+		if err := json.Unmarshal([]byte(c.in), &s); err != nil {
+			t.Errorf("%s: %v", c.in, err)
+			continue
+		}
+		if int64(s) != c.want {
+			t.Errorf("%s = %d, want %d", c.in, s, c.want)
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Errorf("marshal %s: %v", c.in, err)
+			continue
+		}
+		var back Size
+		if err := json.Unmarshal(out, &back); err != nil || back != s {
+			t.Errorf("%s did not round-trip: %s -> %v, %v", c.in, out, back, err)
+		}
+	}
+	for _, bad := range []string{`"-1K"`, `-5`, `true`, `"xK"`} {
+		var s Size
+		if err := json.Unmarshal([]byte(bad), &s); err == nil {
+			t.Errorf("%s accepted as %d", bad, s)
+		}
+	}
+}
+
+func TestSizeListJSON(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int64
+	}{
+		{`"48K,64K"`, []int64{48 << 10, 64 << 10}},
+		{`"5M:7M:1M"`, []int64{5 << 20, 6 << 20, 7 << 20}},
+		{`["48K", 100]`, []int64{48 << 10, 100}},
+		{`[]`, []int64{}},
+	}
+	for _, c := range cases {
+		var l SizeList
+		if err := json.Unmarshal([]byte(c.in), &l); err != nil {
+			t.Errorf("%s: %v", c.in, err)
+			continue
+		}
+		if len(l) != len(c.want) {
+			t.Errorf("%s = %v, want %v", c.in, l, c.want)
+			continue
+		}
+		for i := range l {
+			if l[i] != c.want[i] {
+				t.Errorf("%s[%d] = %d, want %d", c.in, i, l[i], c.want[i])
+			}
+		}
+	}
+	for _, bad := range []string{`"7M:5M:1M"`, `[true]`, `5`} {
+		var l SizeList
+		if err := json.Unmarshal([]byte(bad), &l); err == nil {
+			t.Errorf("%s accepted as %v", bad, l)
+		}
+	}
+}
+
+func TestParseSizeRejectsOverflowAndNaN(t *testing.T) {
+	for _, bad := range []string{"1e30", "NaN", "NaNK", "Inf", "+Inf", "1e300M", "9223372036854775808"} {
+		if v, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) accepted as %d", bad, v)
+		}
+	}
+	// Large in-range sizes still parse, and never as negative values —
+	// the failure mode the overflow guard exists to prevent.
+	for _, in := range []string{"9007199254740992", "8191M", "1000000000"} {
+		v, err := ParseSize(in)
+		if err != nil {
+			t.Errorf("ParseSize(%q) rejected: %v", in, err)
+			continue
+		}
+		if v < 0 {
+			t.Errorf("ParseSize(%q) = %d, negative", in, v)
+		}
+	}
+	// Unknown suffixes stay rejected.
+	if _, err := ParseSize("8191P"); err == nil {
+		t.Error(`ParseSize("8191P") accepted an unknown suffix`)
+	}
+}
+
+func TestParseSizeListRangeBounded(t *testing.T) {
+	if _, err := ParseSizeList("0:9007199254740992:1"); err == nil {
+		t.Error("petabyte-scale range expansion accepted")
+	}
+	out, err := ParseSizeList("1:65536:1")
+	if err != nil || len(out) != MaxSizeListEntries {
+		t.Errorf("at-limit range = %d entries, %v; want %d, nil", len(out), err, MaxSizeListEntries)
+	}
+	if _, err := ParseSizeList("0:65536:1"); err == nil {
+		t.Error("just-over-limit range accepted")
 	}
 }

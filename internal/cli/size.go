@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Size is a vector-memory depth (or test-area size) in raw units that
+// JSON-unmarshals from either a bare number or a string in the paper's
+// K/M units ("64K", "7M", "1.5M"), and marshals back in the paper style.
+// It is the size representation of the HTTP request schema, shared with
+// the flag-parsing layer so "7M" means the same thing in a JSON body and
+// on a command line.
+type Size int64
+
+// MarshalJSON renders the size in the paper's style ("7M", "64K", or the
+// raw count), as a JSON string.
+func (s Size) MarshalJSON() ([]byte, error) {
+	return json.Marshal(FormatSize(int64(s)))
+}
+
+// UnmarshalJSON accepts a JSON number (raw units) or a string in K/M
+// units.
+func (s *Size) UnmarshalJSON(data []byte) error {
+	var n int64
+	if err := json.Unmarshal(data, &n); err == nil {
+		if n < 0 {
+			return fmt.Errorf("negative size %d", n)
+		}
+		*s = Size(n)
+		return nil
+	}
+	var str string
+	if err := json.Unmarshal(data, &str); err != nil {
+		return fmt.Errorf("size must be a number or a K/M string: %s", data)
+	}
+	v, err := ParseSize(str)
+	if err != nil {
+		return err
+	}
+	*s = Size(v)
+	return nil
+}
+
+// SizeList is a list of sizes that JSON-unmarshals from an array of Size
+// values ([ "48K", 65536 ]) or from a single string holding a comma list
+// ("48K,64K") or an inclusive start:stop:step range ("5M:14M:1M") — the
+// same forms the sweep CLI flags accept.
+type SizeList []int64
+
+// MarshalJSON renders the list as an array of paper-style strings.
+func (l SizeList) MarshalJSON() ([]byte, error) {
+	out := make([]string, len(l))
+	for i, v := range l {
+		out[i] = FormatSize(v)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON accepts an array of sizes or a list/range string.
+func (l *SizeList) UnmarshalJSON(data []byte) error {
+	var str string
+	if err := json.Unmarshal(data, &str); err == nil {
+		vs, err := ParseSizeList(str)
+		if err != nil {
+			return err
+		}
+		*l = vs
+		return nil
+	}
+	var sizes []Size
+	if err := json.Unmarshal(data, &sizes); err != nil {
+		return fmt.Errorf("size list must be an array of sizes or a list/range string: %s", data)
+	}
+	out := make([]int64, len(sizes))
+	for i, v := range sizes {
+		out[i] = int64(v)
+	}
+	*l = out
+	return nil
+}

@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"multisite/internal/ate"
@@ -32,20 +33,29 @@ const DefaultControlPins = 10
 // station) and the throughput model parameters.
 type Config struct {
 	// ATE is the target tester (channels, depth, clock, broadcast).
-	ATE ate.ATE
+	ATE ate.ATE `json:"ate"`
 	// Probe carries the index and contact-test times.
-	Probe ate.ProbeStation
+	Probe ate.ProbeStation `json:"probe"`
 	// ContactYield pc and Yield pm; both default to 1 when zero.
-	ContactYield, Yield float64
+	ContactYield float64 `json:"contact_yield"`
+	Yield        float64 `json:"yield"`
 	// AbortOnFail and Retest select the cost-model variants of
 	// Section 5.
-	AbortOnFail, Retest bool
+	AbortOnFail bool `json:"abort_on_fail"`
+	Retest      bool `json:"retest"`
 	// ControlPins is the number of contacted pins beyond the k channels;
 	// negative means DefaultControlPins.
-	ControlPins int
+	ControlPins int `json:"control_pins"`
 	// TAM tunes the Step 1 design (ablations).
-	TAM tam.Options
+	TAM tam.Options `json:"tam"`
 }
+
+// Normalized returns the configuration with defaulted fields resolved
+// (zero yields become 1, negative control pins become
+// DefaultControlPins) — the canonical form cache keys and snapshots are
+// built from, so a request leaving a field zero and one spelling out the
+// default address the same cached result.
+func (c Config) Normalized() Config { return c.normalized() }
 
 func (c Config) normalized() Config {
 	if c.ContactYield == 0 {
@@ -63,18 +73,18 @@ func (c Config) normalized() Config {
 // SiteEval is the evaluation of one candidate site count.
 type SiteEval struct {
 	// Sites is the candidate n.
-	Sites int
+	Sites int `json:"sites"`
 	// Channels is the per-site channel count k after redistribution.
-	Channels int
+	Channels int `json:"channels"`
 	// TestCycles is the SOC test length in cycles after redistribution.
-	TestCycles int64
+	TestCycles int64 `json:"test_cycles"`
 	// TestTimeSec is TestCycles at the ATE clock.
-	TestTimeSec float64
+	TestTimeSec float64 `json:"test_time_sec"`
 	// Throughput is Dth in devices per hour.
-	Throughput float64
+	Throughput float64 `json:"throughput"`
 	// UniqueThroughput is Du in unique devices per hour (equals
 	// Throughput unless re-testing is enabled).
-	UniqueThroughput float64
+	UniqueThroughput float64 `json:"unique_throughput"`
 }
 
 // Result is the outcome of the two-step optimization.
@@ -107,8 +117,21 @@ type Result struct {
 
 // Optimize runs the two-step algorithm for the SOC under the configuration.
 func Optimize(s *soc.SOC, cfg Config) (*Result, error) {
+	return OptimizeCtx(context.Background(), s, cfg)
+}
+
+// OptimizeCtx is Optimize with cancellation: a long-lived caller (the
+// serving layer's per-request timeout, a cancelled sweep) can abandon an
+// optimization between its phases. Cancellation is checked before the
+// Step 1 design, before the Step 2 widening sequence, and once per site
+// count of the curve build; a cancelled run returns the context's error
+// and no partial result.
+func OptimizeCtx(ctx context.Context, s *soc.SOC, cfg Config) (*Result, error) {
 	cfg = cfg.normalized()
 	if err := cfg.Probe.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	step1, err := tam.DesignStep1With(s, cfg.ATE, cfg.TAM)
@@ -125,7 +148,13 @@ func Optimize(s *soc.SOC, cfg Config) (*Result, error) {
 	res := &Result{SOC: s, Config: cfg, Step1: step1, MaxSites: nmax}
 	res.Curve = make([]SiteEval, nmax)
 	res.Step1Curve = make([]SiteEval, nmax)
-	res.Arches = step2Arches(cfg.ATE, step1, nmax)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Arches, err = step2Arches(ctx, cfg.ATE, step1, nmax)
+	if err != nil {
+		return nil, err
+	}
 
 	for n := nmax; n >= 1; n-- {
 		// Step 1-only line: same architecture at every site count.
@@ -155,12 +184,17 @@ func Optimize(s *soc.SOC, cfg Config) (*Result, error) {
 // the next and is snapshot-cloned per n, turning the curve from
 // O(nmax·budget) widening moves into O(max budget). Site counts whose
 // budget adds no moves (equal budgets, or a saturated architecture) share
-// one snapshot.
-func step2Arches(target ate.ATE, step1 *tam.Architecture, nmax int) []*tam.Architecture {
+// one snapshot. Cancellation is checked once per site count — the
+// widening work between checks is bounded by one site count's budget
+// growth.
+func step2Arches(ctx context.Context, target ate.ATE, step1 *tam.Architecture, nmax int) ([]*tam.Architecture, error) {
 	arches := make([]*tam.Architecture, nmax)
 	var running, snapshot *tam.Architecture
 	applied, saturated := 0, false
 	for n := nmax; n >= 1; n-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		budget := target.MaxWiresPerSite(n) - step1.Wires()
 		if budget <= 0 {
 			arches[n-1] = step1
@@ -182,7 +216,7 @@ func step2Arches(target ate.ATE, step1 *tam.Architecture, nmax int) []*tam.Archi
 		}
 		arches[n-1] = snapshot
 	}
-	return arches
+	return arches, nil
 }
 
 // ReEvaluate re-scores the already-designed per-site-count architectures

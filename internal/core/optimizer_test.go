@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -247,7 +248,7 @@ func BenchmarkStep2Curve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		step2Arches(target, step1, nmax)
+		step2Arches(context.Background(), target, step1, nmax)
 	}
 }
 
@@ -275,7 +276,10 @@ func TestStep2ArchesMatchCloneRewiden(t *testing.T) {
 			if nmax < 1 {
 				continue
 			}
-			arches := step2Arches(target, step1, nmax)
+			arches, err := step2Arches(context.Background(), target, step1, nmax)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for n := nmax; n >= 1; n-- {
 				naive := step1
 				if budget := target.MaxWiresPerSite(n) - step1.Wires(); budget > 0 {

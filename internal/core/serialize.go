@@ -1,0 +1,92 @@
+// Cacheable result serialization: a Snapshot is the self-contained,
+// JSON-stable capture of an optimization that the result cache stores and
+// the HTTP serving layer returns. Unlike Result — which holds live
+// pointers into the SOC and shared architecture snapshots — a Snapshot is
+// pure data: curves, the best operating point, and the architectures in
+// their textual form (tam's serialization format, which round-trips via
+// tam.ParseArchitecture). Marshaling is deterministic: fixed field order,
+// no maps, so equal results serialize to identical bytes and cached
+// responses are byte-stable.
+package core
+
+import "encoding/json"
+
+// Snapshot is a serializable capture of an optimization outcome under one
+// cost model. Build it with Result.Snapshot (design-time cost model) or
+// Result.SnapshotUnder (a re-scored cost model, as the sweep engine and
+// serving layer produce).
+type Snapshot struct {
+	// SOC is the chip name; SOCHash is its canonical content hash
+	// (soc.SOC.Hash), the identity cache keys are derived from.
+	SOC     string `json:"soc"`
+	SOCHash string `json:"soc_hash"`
+	// Config is the configuration the evaluations were scored under.
+	Config Config `json:"config"`
+	// Channels is the per-site channel count of the Step 1 architecture;
+	// MaxSites is the implied nmax.
+	Channels int `json:"channels"`
+	MaxSites int `json:"max_sites"`
+	// Best is the optimal evaluation; Curve and Step1Curve are the full
+	// per-site-count evaluations (index i is n = i+1 sites).
+	Best       SiteEval   `json:"best"`
+	Curve      []SiteEval `json:"curve"`
+	Step1Curve []SiteEval `json:"step1_curve"`
+	// Gain is the relative throughput gain of Step 1+2 over Step 1
+	// alone across the full curve (GainOverStep1 at MaxSites),
+	// precomputed so row projections need not decode the curves.
+	Gain float64 `json:"gain_over_step1"`
+	// Step1Arch and BestArch are the Step 1 and best redistributed
+	// architectures in tam's textual serialization format.
+	Step1Arch string `json:"step1_arch"`
+	BestArch  string `json:"best_arch"`
+}
+
+// Snapshot captures the result under its design-time cost model.
+func (r *Result) Snapshot() *Snapshot {
+	return r.SnapshotUnder(r.Config, r.Curve, r.Step1Curve, r.Best)
+}
+
+// SnapshotUnder captures the result's architectures together with
+// evaluations re-scored under a different cost model (the curves and best
+// a Result.ReEvaluate / engine job produced for cfg). The best
+// architecture is resolved from best.Sites against the result's per-site
+// portfolio.
+func (r *Result) SnapshotUnder(cfg Config, curve, step1Curve []SiteEval, best SiteEval) *Snapshot {
+	s := &Snapshot{
+		SOC:        r.SOC.Name,
+		SOCHash:    r.SOC.Hash(),
+		Config:     cfg.normalized(),
+		Channels:   r.Step1.Channels(),
+		MaxSites:   r.MaxSites,
+		Best:       best,
+		Curve:      curve,
+		Step1Curve: step1Curve,
+		Gain:       CurveGain(step1Curve, curve, r.MaxSites),
+		Step1Arch:  r.Step1.WriteString(),
+	}
+	if best.Sites >= 1 && best.Sites <= len(r.Arches) {
+		s.BestArch = r.Arches[best.Sites-1].WriteString()
+	}
+	return s
+}
+
+// GainOverStep1 mirrors Result.GainOverStep1 on the serialized form.
+func (s *Snapshot) GainOverStep1(maxN int) float64 {
+	return CurveGain(s.Step1Curve, s.Curve, maxN)
+}
+
+// MarshalBytes renders the snapshot as compact JSON. The output is
+// deterministic for a given snapshot, so it doubles as the cached
+// response body.
+func (s *Snapshot) MarshalBytes() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// ParseSnapshot decodes a snapshot previously produced by MarshalBytes.
+func ParseSnapshot(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -194,7 +194,7 @@ func runJob(ctx context.Context, i int, j Job, memo *Memo) (r JobResult) {
 		r.Err = err
 		return r
 	}
-	design, err := memo.Design(j.SOC, j.Config)
+	design, err := memo.DesignCtx(ctx, j.SOC, j.Config)
 	if err != nil {
 		r.Err = err
 		return r

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"multisite/internal/ate"
@@ -43,18 +44,32 @@ type Grid struct {
 	Retest      []bool
 }
 
-// Size returns the number of jobs Jobs will generate.
+// Size returns the number of jobs Jobs will generate. The product
+// saturates at math.MaxInt instead of wrapping, so size checks on
+// untrusted grids (the HTTP sweep endpoint) cannot be defeated by
+// overflow.
 func (g Grid) Size() int {
-	n := len(g.SOCs) * len(g.Channels) * len(g.Depths)
+	n := satMul(satMul(len(g.SOCs), len(g.Channels)), len(g.Depths))
 	for _, a := range []int{
 		len(g.Broadcast), len(g.TAM), len(g.ContactYields),
 		len(g.Yields), len(g.AbortOnFail), len(g.Retest),
 	} {
 		if a > 1 {
-			n *= a
+			n = satMul(n, a)
 		}
 	}
 	return n
+}
+
+// satMul multiplies non-negative counts, saturating at math.MaxInt.
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
 }
 
 // Jobs expands the grid. Job names concatenate the SOC name with every
@@ -71,7 +86,13 @@ func (g Grid) Jobs() []Job {
 	aborts := orBools(g.AbortOnFail)
 	retests := orBools(g.Retest)
 
-	jobs := make([]Job, 0, g.Size())
+	// Pre-size from Size() but never trust a saturated product for an
+	// allocation; callers gate huge grids before expanding them.
+	presize := g.Size()
+	if presize > 1<<20 {
+		presize = 1 << 20
+	}
+	jobs := make([]Job, 0, presize)
 	for _, s := range g.SOCs {
 		for _, ch := range g.Channels {
 			for _, depth := range g.Depths {

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -21,9 +23,11 @@ type designKey struct {
 }
 
 // memoEntry computes its design exactly once, even when many workers
-// request the same key concurrently.
+// request the same key concurrently. done is closed when res/err are
+// final; waiters select against their own context so a slow design never
+// pins a cancelled request.
 type memoEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  *core.Result
 	err  error
 }
@@ -37,15 +41,33 @@ type memoEntry struct {
 //
 // SOC identity is pointer identity: use the memoized benchdata.Shared
 // chips (or any stable *soc.SOC) for sweeps. A Memo is safe for concurrent
-// use and may be shared across Runs to memoize a whole session.
+// use and may be shared across Runs to memoize a whole session — the
+// serving layer keeps one per process.
 type Memo struct {
 	entries  sync.Map // designKey -> *memoEntry
+	size     atomic.Int64
+	maxSize  int64 // 0 = unbounded
 	requests atomic.Int64
 	misses   atomic.Int64
 }
 
-// NewMemo returns an empty memo.
+// NewMemo returns an empty, unbounded memo — right for sweeps and
+// experiment sessions, whose design-key space is fixed by construction.
 func NewMemo() *Memo { return &Memo{} }
+
+// NewMemoBounded returns a memo holding at most maxDesigns cached
+// designs: inserting past the bound resets the memo wholesale (designs
+// recompute on demand; no LRU bookkeeping on the hot path). Use it when
+// the key space is client-controlled — a long-running server must not
+// let requests iterating ATE parameters grow process memory without
+// limit. Around a reset, concurrent requests for one key may briefly
+// compute it twice; exactly-once holds away from the capacity boundary.
+func NewMemoBounded(maxDesigns int) *Memo {
+	if maxDesigns < 1 {
+		maxDesigns = 1
+	}
+	return &Memo{maxSize: int64(maxDesigns)}
+}
 
 // designConfig is the canonical configuration a key's design is computed
 // under: cost-model fields zeroed, so the cached core.Result is identical
@@ -63,18 +85,70 @@ func designConfig(cfg core.Config) core.Config {
 // snapshot across site counts whose widening budgets coincide — both are
 // safe because evaluation never mutates an architecture.
 func (m *Memo) Design(s *soc.SOC, cfg core.Config) (*core.Result, error) {
+	return m.DesignCtx(context.Background(), s, cfg)
+}
+
+// DesignCtx is Design with cancellation semantics fit for a serving
+// layer: concurrent requests for one key still compute exactly once
+// (singleflight), but a waiter whose own context expires unblocks
+// immediately with that context's error while the computation proceeds
+// for the others. If the computing request itself is cancelled mid-design,
+// the poisoned entry is dropped so the next request recomputes instead of
+// replaying a stale cancellation error forever.
+func (m *Memo) DesignCtx(ctx context.Context, s *soc.SOC, cfg core.Config) (*core.Result, error) {
 	m.requests.Add(1)
 	key := designKey{soc: s, ate: cfg.ATE, tam: cfg.TAM}
-	v, ok := m.entries.Load(key)
-	if !ok {
-		v, _ = m.entries.LoadOrStore(key, &memoEntry{})
+	for {
+		v, ok := m.entries.Load(key)
+		if !ok {
+			if m.maxSize > 0 && m.size.Load() >= m.maxSize {
+				// Full: reset before inserting. In-flight computers and
+				// their waiters hold entry pointers and are unaffected;
+				// only future lookups recompute.
+				m.entries.Clear()
+				m.size.Store(0)
+			}
+			e := &memoEntry{done: make(chan struct{})}
+			if actual, raced := m.entries.LoadOrStore(key, e); raced {
+				v = actual
+			} else {
+				m.size.Add(1)
+				m.misses.Add(1)
+				e.res, e.err = core.OptimizeCtx(ctx, s, designConfig(cfg))
+				if isCancellation(e.err) {
+					// Do not cache a cancellation: it reflects this
+					// request's deadline, not the design's feasibility.
+					if m.entries.CompareAndDelete(key, e) {
+						m.size.Add(-1)
+					}
+				}
+				close(e.done)
+				return e.res, e.err
+			}
+		}
+		e := v.(*memoEntry)
+		select {
+		case <-e.done:
+			if isCancellation(e.err) {
+				// The computing request was cancelled; its entry was
+				// unlinked by the computer. Retry under our own context.
+				if m.entries.CompareAndDelete(key, e) {
+					m.size.Add(-1)
+				}
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	e := v.(*memoEntry)
-	e.once.Do(func() {
-		m.misses.Add(1)
-		e.res, e.err = core.Optimize(s, designConfig(cfg))
-	})
-	return e.res, e.err
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Stats reports the memo's request and design counts: hits = requests −
@@ -83,3 +157,6 @@ func (m *Memo) Design(s *soc.SOC, cfg core.Config) (*core.Result, error) {
 func (m *Memo) Stats() (requests, misses int64) {
 	return m.requests.Load(), m.misses.Load()
 }
+
+// Len returns the number of currently cached designs.
+func (m *Memo) Len() int { return int(m.size.Load()) }

@@ -1,0 +1,243 @@
+// Package resultcache is a sharded, size-bounded, content-addressed cache
+// for serialized optimization results, the serving layer's second cache
+// tier above engine.Memo:
+//
+//   - engine.Memo caches live architecture designs keyed on SOC pointer
+//     identity — it makes one process's sweeps cheap, but only for SOCs
+//     that are stable pointers (the built-in benchmarks).
+//   - resultcache caches finished response bytes keyed on request content
+//     (canonical SOC hash + ATE + TAM options + cost model), so repeated
+//     identical requests — including inline SOCs a client uploads — are
+//     served without touching the optimizer, and two textually different
+//     requests describing the same chip share one entry.
+//
+// Concurrent requests for one key are deduplicated singleflight-style:
+// the first computes, the rest wait on the entry and receive the same
+// bytes, so a thundering herd of identical requests costs exactly one
+// core.Optimize call. Each shard is an LRU bounded by entry count;
+// eviction only considers completed entries, never in-flight ones.
+//
+// The cache stores immutable []byte values. Callers must not mutate a
+// returned slice; the serving layer writes it straight to the wire.
+package resultcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errPanicked is what waiters joined to a compute that panicked receive;
+// the panic itself propagates on the computing goroutine.
+var errPanicked = errors.New("resultcache: compute panicked")
+
+const shardCount = 16
+
+// DefaultCapacity bounds the whole cache to this many entries when
+// Options.Capacity is zero.
+const DefaultCapacity = 4096
+
+// Options tunes a Cache.
+type Options struct {
+	// Capacity is the target maximum number of completed entries across
+	// all shards; 0 means DefaultCapacity. The bound is enforced per
+	// shard as max(1, Capacity/16), so capacities below the shard count
+	// (including negative values) round up to one entry per shard — the
+	// effective minimum is 16 entries.
+	Capacity int
+}
+
+// Cache is a sharded singleflight LRU. The zero value is not usable; use
+// New.
+type Cache struct {
+	shards [shardCount]shard
+
+	hits      atomic.Int64 // completed entry found
+	misses    atomic.Int64 // this request ran the compute function
+	dedups    atomic.Int64 // joined another request's in-flight compute
+	evictions atomic.Int64
+	failures  atomic.Int64 // computes that returned an error (not cached)
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // completed entries, front = most recent
+	cap     int
+}
+
+type entry struct {
+	key  string
+	done chan struct{}
+	val  []byte
+	err  error
+	elem *list.Element // nil while in flight
+}
+
+// New returns an empty cache.
+func New(opts Options) *Cache {
+	capacity := opts.Capacity
+	if capacity == 0 {
+		capacity = DefaultCapacity
+	}
+	perShard := capacity / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry)
+		c.shards[i].lru = list.New()
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+// shardFor maps a key to its shard. Keys are content hashes (uniform hex
+// strings), so the first byte alone spreads them evenly; a short FNV pass
+// keeps arbitrary keys safe too.
+func (c *Cache) shardFor(key string) *shard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key) && i < 8; i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &c.shards[h%shardCount]
+}
+
+// Do returns the cached bytes for key, computing them at most once across
+// concurrent callers. On a miss the calling goroutine runs compute; other
+// callers for the same key block until it finishes and share its value
+// (or its error — errors are never cached, so a later request retries).
+// The hit result distinguishes a served-from-cache response (true, either
+// a completed entry or a joined in-flight compute) from a fresh compute
+// (false). A caller whose ctx expires while waiting unblocks with the
+// context's error; the compute keeps running for the others.
+func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Context) ([]byte, error)) (val []byte, hit bool, err error) {
+	sh := c.shardFor(key)
+	for {
+		sh.mu.Lock()
+		if e, ok := sh.entries[key]; ok {
+			if e.elem != nil { // completed
+				sh.lru.MoveToFront(e.elem)
+				sh.mu.Unlock()
+				c.hits.Add(1)
+				return e.val, true, nil
+			}
+			sh.mu.Unlock()
+			c.dedups.Add(1)
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if e.err != nil {
+				// The computing request failed; its entry is already
+				// unlinked. A cancellation is its deadline, not ours:
+				// retry under our own context. Genuine compute errors
+				// are shared, like singleflight.
+				if e.err == context.Canceled || e.err == context.DeadlineExceeded {
+					if err := ctx.Err(); err != nil {
+						return nil, false, err
+					}
+					continue
+				}
+				return nil, true, e.err
+			}
+			return e.val, true, nil
+		}
+		e := &entry{key: key, done: make(chan struct{})}
+		sh.entries[key] = e
+		sh.mu.Unlock()
+		c.misses.Add(1)
+
+		finished := false
+		defer func() {
+			if finished {
+				return
+			}
+			// compute panicked: unlink the entry and release waiters
+			// with an error before the panic propagates, so they retry
+			// rather than deadlock on done.
+			e.err = errPanicked
+			sh.mu.Lock()
+			delete(sh.entries, key)
+			sh.mu.Unlock()
+			c.failures.Add(1)
+			close(e.done)
+		}()
+		e.val, e.err = compute(ctx)
+		finished = true
+
+		sh.mu.Lock()
+		if e.err != nil {
+			delete(sh.entries, key)
+			c.failures.Add(1)
+		} else {
+			e.elem = sh.lru.PushFront(e)
+			for sh.lru.Len() > sh.cap {
+				oldest := sh.lru.Back()
+				old := oldest.Value.(*entry)
+				sh.lru.Remove(oldest)
+				delete(sh.entries, old.key)
+				c.evictions.Add(1)
+			}
+		}
+		sh.mu.Unlock()
+		close(e.done)
+		return e.val, false, e.err
+	}
+}
+
+// Get returns the completed entry for key without computing anything.
+func (c *Cache) Get(key string) (val []byte, ok bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, present := sh.entries[key]
+	if !present || e.elem == nil {
+		return nil, false
+	}
+	sh.lru.MoveToFront(e.elem)
+	return e.val, true
+}
+
+// Len returns the number of completed entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits counts requests served from a completed entry; Dedups counts
+	// requests that joined an in-flight compute. Both avoided a compute.
+	Hits, Dedups int64
+	// Misses counts requests that ran the compute function — the
+	// cache's "underlying core.Optimize calls" budget.
+	Misses int64
+	// Evictions counts completed entries dropped by the LRU bound;
+	// Failures counts computes that errored (never cached).
+	Evictions, Failures int64
+	// Entries is the current completed-entry count.
+	Entries int
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Dedups:    c.dedups.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Failures:  c.failures.Load(),
+		Entries:   c.Len(),
+	}
+}

@@ -1,0 +1,230 @@
+package resultcache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func bg() context.Context { return context.Background() }
+
+func TestDoComputesOnceThenHits(t *testing.T) {
+	c := New(Options{})
+	computes := 0
+	compute := func(context.Context) ([]byte, error) {
+		computes++
+		return []byte("v"), nil
+	}
+	v, hit, err := c.Do(bg(), "k", compute)
+	if err != nil || hit || string(v) != "v" {
+		t.Fatalf("first Do = (%q, hit=%v, %v)", v, hit, err)
+	}
+	v, hit, err = c.Do(bg(), "k", compute)
+	if err != nil || !hit || string(v) != "v" {
+		t.Fatalf("second Do = (%q, hit=%v, %v)", v, hit, err)
+	}
+	if computes != 1 {
+		t.Errorf("computes = %d, want 1", computes)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(Options{})
+	boom := errors.New("boom")
+	if _, _, err := c.Do(bg(), "k", func(context.Context) ([]byte, error) {
+		return nil, boom
+	}); err != boom {
+		t.Fatalf("want boom, got %v", err)
+	}
+	v, hit, err := c.Do(bg(), "k", func(context.Context) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || hit || string(v) != "ok" {
+		t.Fatalf("retry after error = (%q, hit=%v, %v)", v, hit, err)
+	}
+	if st := c.Stats(); st.Failures != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLRUBound(t *testing.T) {
+	// Capacity negative -> 1 entry per shard; filling one shard with
+	// many keys must evict down to its bound.
+	c := New(Options{Capacity: -1})
+	sh := c.shardFor("target")
+	inserted := 0
+	for i := 0; i < 1000 && inserted < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if c.shardFor(key) != sh {
+			continue
+		}
+		inserted++
+		if _, _, err := c.Do(bg(), key, func(context.Context) ([]byte, error) {
+			return []byte(key), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inserted < 3 {
+		t.Fatal("could not find 3 keys in one shard")
+	}
+	if sh.lru.Len() != 1 {
+		t.Errorf("shard holds %d entries, want 1", sh.lru.Len())
+	}
+	if st := c.Stats(); st.Evictions != int64(inserted-1) {
+		t.Errorf("evictions = %d, want %d", st.Evictions, inserted-1)
+	}
+}
+
+func TestGet(t *testing.T) {
+	c := New(Options{})
+	if _, ok := c.Get("k"); ok {
+		t.Error("Get on empty cache reported ok")
+	}
+	c.Do(bg(), "k", func(context.Context) ([]byte, error) { return []byte("v"), nil })
+	if v, ok := c.Get("k"); !ok || string(v) != "v" {
+		t.Errorf("Get = (%q, %v)", v, ok)
+	}
+}
+
+func TestWaiterContextCancellation(t *testing.T) {
+	c := New(Options{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(bg(), "slow", func(context.Context) ([]byte, error) {
+		close(started)
+		<-release
+		return []byte("v"), nil
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(bg(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := c.Do(ctx, "slow", func(context.Context) ([]byte, error) {
+		t.Error("waiter must not compute")
+		return nil, nil
+	}); err != context.DeadlineExceeded {
+		t.Errorf("waiter err = %v, want deadline exceeded", err)
+	}
+	close(release)
+	// The original compute still lands and is served.
+	v, hit, err := c.Do(bg(), "slow", func(context.Context) ([]byte, error) {
+		t.Error("must be cached by now")
+		return nil, nil
+	})
+	if err != nil || !hit || string(v) != "v" {
+		t.Errorf("after release = (%q, hit=%v, %v)", v, hit, err)
+	}
+}
+
+func TestCancelledComputeRetried(t *testing.T) {
+	c := New(Options{})
+	ctx, cancel := context.WithCancel(bg())
+	cancel()
+	if _, _, err := c.Do(ctx, "k", func(ctx context.Context) ([]byte, error) {
+		return nil, ctx.Err()
+	}); err != context.Canceled {
+		t.Fatalf("want canceled, got %v", err)
+	}
+	v, hit, err := c.Do(bg(), "k", func(context.Context) ([]byte, error) {
+		return []byte("v"), nil
+	})
+	if err != nil || hit || string(v) != "v" {
+		t.Errorf("retry = (%q, hit=%v, %v)", v, hit, err)
+	}
+}
+
+func TestPanicReleasesWaiters(t *testing.T) {
+	c := New(Options{})
+	started := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.Do(bg(), "p", func(context.Context) ([]byte, error) {
+			close(started)
+			time.Sleep(5 * time.Millisecond)
+			panic("boom")
+		})
+	}()
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(bg(), "p", func(context.Context) ([]byte, error) {
+			return []byte("v"), nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil && err != errPanicked {
+			t.Errorf("waiter err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter deadlocked after compute panic")
+	}
+}
+
+// TestStressExactlyOnceRace is the cache half of the issue's race/stress
+// satellite: 32 goroutines hammer a mix of identical and distinct keys
+// under -race; every distinct key must compute exactly once and every
+// caller must receive byte-identical bytes for its key.
+func TestStressExactlyOnceRace(t *testing.T) {
+	c := New(Options{Capacity: 1 << 16})
+	const (
+		goroutines = 32
+		rounds     = 200
+		distinct   = 8
+	)
+	var computes [distinct]atomic.Int64
+	want := make([][]byte, distinct)
+	for k := range want {
+		want[k] = []byte(fmt.Sprintf("payload-%d", k))
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < rounds; r++ {
+				k := (g + r) % distinct
+				key := fmt.Sprintf("key-%d", k)
+				v, _, err := c.Do(bg(), key, func(context.Context) ([]byte, error) {
+					computes[k].Add(1)
+					time.Sleep(time.Millisecond) // widen the dedup window
+					return want[k], nil
+				})
+				if err != nil {
+					t.Errorf("g%d r%d: %v", g, r, err)
+					return
+				}
+				if !bytes.Equal(v, want[k]) {
+					t.Errorf("g%d r%d: got %q, want %q", g, r, v, want[k])
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	for k := range computes {
+		if n := computes[k].Load(); n != 1 {
+			t.Errorf("key %d computed %d times, want exactly 1", k, n)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != distinct {
+		t.Errorf("misses = %d, want %d", st.Misses, distinct)
+	}
+	if total := st.Hits + st.Dedups + st.Misses; total != goroutines*rounds {
+		t.Errorf("hits+dedups+misses = %d, want %d", total, goroutines*rounds)
+	}
+}

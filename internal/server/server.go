@@ -1,0 +1,431 @@
+// Package server is the optimization-as-a-service layer: a long-running
+// HTTP/JSON facade over the repository's compute core, turning the
+// library into a system CI jobs, dashboards, and what-if tools can query.
+//
+// Endpoints:
+//
+//	POST /v1/optimize — run the two-step algorithm for one scenario
+//	                    (named or inline SOC); returns a core.Snapshot.
+//	POST /v1/sweep    — expand a scenario × axes grid and stream one
+//	                    NDJSON row per grid point, in deterministic order.
+//	GET  /v1/socs     — list the built-in benchmark SOCs.
+//	GET  /healthz     — liveness probe.
+//	GET  /metrics     — Prometheus-style request and cache counters.
+//
+// Results are cached at two tiers. engine.Memo (pointer-keyed, per
+// process) shares the expensive Step 1+2 designs across requests and
+// sweep grid points for the built-in benchmarks; inline SOCs get a
+// per-request memo so one upload's sweep still shares designs without
+// growing process state. resultcache (content-addressed, size-bounded)
+// stores finished response bytes keyed on (canonical SOC hash, ATE, TAM
+// options, cost model), deduplicating concurrent identical requests
+// singleflight-style: a thundering herd of equal /v1/optimize calls runs
+// exactly one core.Optimize. Sweeps read and populate the same cache, so
+// a sweep warms the point-query path and vice versa.
+//
+// Compute is bounded by a server-wide concurrency budget (Options.
+// Concurrency) layered under the per-sweep engine worker pool, and every
+// request is subject to Options.RequestTimeout via its context, which
+// core.OptimizeCtx honors between phases.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multisite/internal/benchdata"
+	"multisite/internal/core"
+	"multisite/internal/engine"
+	"multisite/internal/resultcache"
+	"multisite/internal/soc"
+)
+
+// maxBodyBytes bounds request bodies; inline SOC descriptions are a few
+// hundred KB at the extreme.
+const maxBodyBytes = 4 << 20
+
+// maxSweepScenarios bounds one sweep's grid expansion.
+const maxSweepScenarios = 4096
+
+// maxMemoDesigns bounds the shared design memo: its keys include
+// client-controlled ATE fields, so a long-running server must cap the
+// live designs it retains (the bound trips a wholesale reset, see
+// engine.NewMemoBounded). The content-addressed resultcache remains the
+// durable cache tier.
+const maxMemoDesigns = 256
+
+// Options tunes a Server.
+type Options struct {
+	// Workers bounds the engine worker pool each sweep fans out on;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Concurrency is the server-wide budget of simultaneously running
+	// optimizations across all requests; 0 means 2×GOMAXPROCS.
+	Concurrency int
+	// CacheCapacity is the result cache's entry bound; 0 means
+	// resultcache.DefaultCapacity.
+	CacheCapacity int
+	// RequestTimeout caps one request's compute time; 0 means no limit.
+	RequestTimeout time.Duration
+}
+
+// Server holds the shared state of the serving layer. Create with New;
+// serve via Handler.
+type Server struct {
+	opts  Options
+	memo  *engine.Memo
+	cache *resultcache.Cache
+	sem   chan struct{}
+
+	socs      map[string]*soc.SOC
+	socHashes map[string]string
+	names     []string
+
+	requests map[string]*atomic.Int64 // endpoint -> count
+	sweepRows atomic.Int64
+	inflight  atomic.Int64
+}
+
+// New builds a server over the built-in benchmark SOCs.
+func New(opts Options) *Server {
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 2 * runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		opts:      opts,
+		memo:      engine.NewMemoBounded(maxMemoDesigns),
+		cache:     resultcache.New(resultcache.Options{Capacity: opts.CacheCapacity}),
+		sem:       make(chan struct{}, opts.Concurrency),
+		socs:      make(map[string]*soc.SOC),
+		socHashes: make(map[string]string),
+		names:     benchdata.Names(),
+		requests:  make(map[string]*atomic.Int64),
+	}
+	for _, name := range s.names {
+		chip := benchdata.Shared(name)
+		s.socs[name] = chip
+		s.socHashes[name] = chip.Hash()
+	}
+	for _, ep := range []string{"optimize", "sweep", "socs", "healthz", "metrics"} {
+		s.requests[ep] = &atomic.Int64{}
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/socs", s.handleSOCs)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// CacheStats exposes the result-cache counters (tests and diagnostics).
+func (s *Server) CacheStats() resultcache.Stats { return s.cache.Stats() }
+
+// acquire claims one slot of the server-wide compute budget, or fails
+// with the context's error.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		s.inflight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.sem
+}
+
+// requestCtx applies the per-request compute deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// scenarioEnv is the resolved compute environment of one request: the
+// chip, its canonical hash, and the memo designs go through — the shared
+// per-process memo for built-in benchmarks, a per-request one for inline
+// SOCs (pointer-keyed state must not accumulate across requests).
+type scenarioEnv struct {
+	soc  *soc.SOC
+	hash string
+	memo *engine.Memo
+}
+
+// resolveSOC turns the request's soc / soc_text fields into an
+// environment, or an HTTP-status-carrying error.
+func (s *Server) resolveSOC(req *ScenarioRequest) (*scenarioEnv, int, error) {
+	switch {
+	case req.SOC != "" && req.SOCText != "":
+		return nil, http.StatusBadRequest, fmt.Errorf("use either soc or soc_text, not both")
+	case req.SOC != "":
+		chip, ok := s.socs[req.SOC]
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("unknown soc %q; see GET /v1/socs", req.SOC)
+		}
+		return &scenarioEnv{soc: chip, hash: s.socHashes[req.SOC], memo: s.memo}, 0, nil
+	case req.SOCText != "":
+		chip, err := soc.ParseString(req.SOCText)
+		if err != nil {
+			return nil, http.StatusUnprocessableEntity, fmt.Errorf("soc_text: %v", err)
+		}
+		return &scenarioEnv{soc: chip, hash: chip.Hash(), memo: engine.NewMemo()}, 0, nil
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("specify soc (a benchmark name) or soc_text (inline ITC'02 text)")
+	}
+}
+
+// computeSnapshot produces the serialized optimization snapshot for one
+// scenario, through both cache tiers: resultcache bytes first, then the
+// memoized design re-scored under the scenario's cost model. The compute
+// slot is held only while actually optimizing — never while waiting on a
+// cache entry another request is computing.
+func (s *Server) computeSnapshot(ctx context.Context, env *scenarioEnv, cfg core.Config) ([]byte, bool, error) {
+	cfg = cfg.Normalized()
+	if err := cfg.ATE.Validate(); err != nil {
+		return nil, false, err
+	}
+	if err := cfg.Probe.Validate(); err != nil {
+		return nil, false, err
+	}
+	key := cacheKey(env.hash, cfg)
+	return s.cache.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		design, err := env.memo.DesignCtx(ctx, env.soc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		curve, best := design.ReEvaluate(cfg)
+		step1Curve := make([]core.SiteEval, design.MaxSites)
+		for n := 1; n <= design.MaxSites; n++ {
+			step1Curve[n-1] = cfg.EvaluateAt(design.Step1, n)
+		}
+		return design.SnapshotUnder(cfg, curve, step1Curve, best).MarshalBytes()
+	})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	s.requests["optimize"].Add(1)
+	var req ScenarioRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	env, status, err := s.resolveSOC(&req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	data, cached, err := s.computeSnapshot(ctx, env, req.Config())
+	if err != nil {
+		writeError(w, computeStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheHeader(cached))
+	w.Write(data)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.requests["sweep"].Add(1)
+	var req SweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	env, status, err := s.resolveSOC(&req.ScenarioRequest)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	grid := req.Grid(env.soc)
+	if n := grid.Size(); n > maxSweepScenarios {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep expands to %d scenarios; the limit is %d", n, maxSweepScenarios))
+		return
+	}
+	jobs := grid.Jobs()
+	if len(jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("sweep expands to no scenarios"))
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Sweep-Scenarios", fmt.Sprint(len(jobs)))
+	flusher, _ := w.(http.Flusher)
+
+	// Rows stream in job order no matter which worker finishes first:
+	// the same gap-closing delivery the engine uses, with the row bytes
+	// written under the lock (ResponseWriter is not concurrency-safe).
+	rows := make([][]byte, len(jobs))
+	completed := make([]bool, len(jobs))
+	var mu sync.Mutex
+	next := 0
+	deliver := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		completed[i] = true
+		for next < len(jobs) && completed[next] {
+			if rows[next] == nil { // belt-and-braces: never emit a blank line
+				rows[next], _ = json.Marshal(SweepRow{Index: next,
+					Name: jobs[next].Name, Error: "internal: row lost"})
+			}
+			w.Write(rows[next])
+			w.Write([]byte("\n"))
+			if flusher != nil {
+				flusher.Flush()
+			}
+			s.sweepRows.Add(1)
+			next++
+		}
+	}
+	_, _ = engine.Map(ctx, len(jobs), s.opts.Workers, func(ctx context.Context, i int) (struct{}, error) {
+		// deliver must run even if the row computation panics — a gap at
+		// index i would silently drop every later row from the stream.
+		defer deliver(i)
+		rows[i] = s.rowBytes(ctx, env, i, jobs[i])
+		return struct{}{}, nil
+	})
+	// A cancelled context (client gone, timeout) simply truncates the
+	// stream; rows already delivered are valid NDJSON.
+}
+
+// rowBytes computes one sweep row through the result cache, so grid
+// points shared with earlier optimize calls (or earlier sweeps) are
+// served from bytes, and this sweep's points warm the point-query path.
+// A panicking compute becomes an error row, never a hole in the stream.
+func (s *Server) rowBytes(ctx context.Context, env *scenarioEnv, i int, job engine.Job) (out []byte) {
+	defer func() {
+		if p := recover(); p != nil {
+			out, _ = json.Marshal(SweepRow{Index: i, Name: job.Name,
+				Error: fmt.Sprintf("internal: %v", p)})
+		}
+	}()
+	row := func() SweepRow {
+		data, _, err := s.computeSnapshot(ctx, env, job.Config)
+		if err != nil {
+			return SweepRow{Index: i, Name: job.Name, Error: err.Error()}
+		}
+		var view snapshotView
+		if err := json.Unmarshal(data, &view); err != nil {
+			return SweepRow{Index: i, Name: job.Name, Error: err.Error()}
+		}
+		return rowFromSnapshot(i, job.Name, &view)
+	}()
+	data, err := json.Marshal(row)
+	if err != nil {
+		data, _ = json.Marshal(SweepRow{Index: i, Name: job.Name, Error: err.Error()})
+	}
+	return data
+}
+
+func (s *Server) handleSOCs(w http.ResponseWriter, r *http.Request) {
+	s.requests["socs"].Add(1)
+	out := make([]SOCInfo, 0, len(s.names))
+	for _, name := range s.names {
+		chip := s.socs[name]
+		out = append(out, SOCInfo{
+			Name:          name,
+			Hash:          s.socHashes[name],
+			Modules:       len(chip.Modules),
+			Testable:      len(chip.TestableModules()),
+			TotalTestBits: chip.TotalTestBits(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		SOCs []SOCInfo `json:"socs"`
+	}{out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests["healthz"].Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests["metrics"].Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	endpoints := make([]string, 0, len(s.requests))
+	for ep := range s.requests {
+		endpoints = append(endpoints, ep)
+	}
+	sort.Strings(endpoints)
+	for _, ep := range endpoints {
+		fmt.Fprintf(w, "multisite_requests_total{endpoint=%q} %d\n", ep, s.requests[ep].Load())
+	}
+	st := s.cache.Stats()
+	fmt.Fprintf(w, "multisite_cache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "multisite_cache_dedups_total %d\n", st.Dedups)
+	fmt.Fprintf(w, "multisite_cache_computes_total %d\n", st.Misses)
+	fmt.Fprintf(w, "multisite_cache_evictions_total %d\n", st.Evictions)
+	fmt.Fprintf(w, "multisite_cache_failures_total %d\n", st.Failures)
+	fmt.Fprintf(w, "multisite_cache_entries %d\n", st.Entries)
+	memoReq, memoMiss := s.memo.Stats()
+	fmt.Fprintf(w, "multisite_memo_requests_total %d\n", memoReq)
+	fmt.Fprintf(w, "multisite_memo_designs_total %d\n", memoMiss)
+	fmt.Fprintf(w, "multisite_memo_entries %d\n", s.memo.Len())
+	fmt.Fprintf(w, "multisite_sweep_rows_total %d\n", s.sweepRows.Load())
+	fmt.Fprintf(w, "multisite_compute_inflight %d\n", s.inflight.Load())
+	fmt.Fprintf(w, "multisite_compute_budget %d\n", cap(s.sem))
+}
+
+// decodeJSON reads the request body strictly; on failure it writes the
+// error response and reports false.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// computeStatus maps a compute failure to an HTTP status: deadline and
+// cancellation are the request's own timeout; everything else (an
+// infeasible scenario, a validation failure) is the client's input.
+func computeStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func cacheHeader(cached bool) string {
+	if cached {
+		return "hit"
+	}
+	return "miss"
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

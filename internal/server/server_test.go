@@ -1,0 +1,317 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/core"
+	"multisite/internal/soc"
+)
+
+var update = flag.Bool("update", false, "rewrite golden HTTP outputs")
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+const optimizeD695 = `{"soc":"d695","channels":256,"depth":"64K","clock_hz":5e6}`
+
+// TestOptimizeE2EGolden pins the /v1/optimize response for d695 on the
+// 256-channel, 64K-depth cell byte-for-byte, and cross-checks it against
+// a direct core.Optimize run — the same numbers the experiment goldens
+// (table1's d695 rows) are derived from.
+func TestOptimizeE2EGolden(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, data := post(t, ts, "/v1/optimize", optimizeD695)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/json" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	checkGolden(t, "optimize_d695.golden", data)
+
+	snap, err := core.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.Optimize(benchdata.Shared("d695"), core.Config{
+		ATE:   ate.ATE{Channels: 256, Depth: 64 << 10, ClockHz: 5e6},
+		Probe: ate.DefaultProbeStation(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Best != direct.Best {
+		t.Errorf("served best %+v != direct best %+v", snap.Best, direct.Best)
+	}
+	if snap.Channels != direct.Step1.Channels() || snap.MaxSites != direct.MaxSites {
+		t.Errorf("served k=%d nmax=%d, direct k=%d nmax=%d",
+			snap.Channels, snap.MaxSites, direct.Step1.Channels(), direct.MaxSites)
+	}
+}
+
+// TestSweepE2EGolden pins a small d695 sweep's NDJSON stream.
+func TestSweepE2EGolden(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := `{"soc":"d695","channels":256,"clock_hz":5e6,"depths":"48K,64K","contact_yields":[1,0.99]}`
+	resp, data := post(t, ts, "/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	if got := resp.Header.Get("X-Sweep-Scenarios"); got != "4" {
+		t.Errorf("X-Sweep-Scenarios = %q, want 4", got)
+	}
+	checkGolden(t, "sweep_d695.golden", data)
+
+	// Every line is valid JSON with increasing indices.
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	i := 0
+	for sc.Scan() {
+		var row SweepRow
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("row %d: %v: %s", i, err, sc.Bytes())
+		}
+		if row.Index != i {
+			t.Errorf("row %d has index %d", i, row.Index)
+		}
+		if row.Error != "" {
+			t.Errorf("row %d failed: %s", i, row.Error)
+		}
+		i++
+	}
+	if i != 4 {
+		t.Errorf("got %d rows, want 4", i)
+	}
+}
+
+// TestSweepMatchesOptimize checks a sweep row agrees with the point query
+// for the same scenario — the two paths share the cache key, so this also
+// exercises sweep->optimize cache warming.
+func TestSweepMatchesOptimize(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	_, data := post(t, ts, "/v1/sweep", `{"soc":"d695","channels":256,"depths":"64K","clock_hz":5e6}`)
+	var row SweepRow
+	if err := json.Unmarshal(bytes.TrimSpace(data), &row); err != nil {
+		t.Fatalf("%v: %s", err, data)
+	}
+	before := srv.CacheStats().Misses
+	resp, data := post(t, ts, "/v1/optimize", optimizeD695)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("optimize after sweep was not a cache hit")
+	}
+	if after := srv.CacheStats().Misses; after != before {
+		t.Errorf("optimize after sweep recomputed (%d -> %d misses)", before, after)
+	}
+	snap, err := core.ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Throughput != snap.Best.Throughput || row.Sites != snap.Best.Sites {
+		t.Errorf("sweep row %+v disagrees with optimize best %+v", row, snap.Best)
+	}
+}
+
+// TestInlineSOCSharesCacheWithNamed uploads d695's textual form inline
+// and checks it addresses the same cache entries as the named benchmark:
+// content-addressing, not name-addressing.
+func TestInlineSOCSharesCacheWithNamed(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	resp, first := post(t, ts, "/v1/optimize", optimizeD695)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, first)
+	}
+	text := soc.WriteString(benchdata.Shared("d695"))
+	body, err := json.Marshal(map[string]any{
+		"soc_text": text, "channels": 256, "depth": "64K", "clock_hz": 5e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, second := post(t, ts, "/v1/optimize", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline status %d: %s", resp.StatusCode, second)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Error("inline request missed the cache despite identical content")
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("inline and named responses differ")
+	}
+	if st := srv.CacheStats(); st.Misses != 1 {
+		t.Errorf("computes = %d, want 1", st.Misses)
+	}
+}
+
+func TestSOCsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, data := get(t, ts, "/v1/socs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		SOCs []SOCInfo `json:"socs"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SOCs) != len(benchdata.Names()) {
+		t.Fatalf("%d socs, want %d", len(out.SOCs), len(benchdata.Names()))
+	}
+	for i, info := range out.SOCs {
+		if info.Name != benchdata.Names()[i] {
+			t.Errorf("soc %d = %s, want %s (deterministic order)", i, info.Name, benchdata.Names()[i])
+		}
+		if want := benchdata.Shared(info.Name).Hash(); info.Hash != want {
+			t.Errorf("%s hash %s, want %s", info.Name, info.Hash, want)
+		}
+		if info.Modules == 0 || info.Testable == 0 || info.TotalTestBits == 0 {
+			t.Errorf("%s has zero-valued summary: %+v", info.Name, info)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, data := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "ok") {
+		t.Errorf("healthz = %d %q", resp.StatusCode, data)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		path, body string
+		status     int
+	}{
+		{"/v1/optimize", `{`, http.StatusBadRequest},
+		{"/v1/optimize", `{"bogus_field":1}`, http.StatusBadRequest},
+		{"/v1/optimize", `{}`, http.StatusBadRequest},
+		{"/v1/optimize", `{"soc":"nope"}`, http.StatusNotFound},
+		{"/v1/optimize", `{"soc":"d695","soc_text":"SocName x"}`, http.StatusBadRequest},
+		{"/v1/optimize", `{"soc_text":"SocName broken\nModule"}`, http.StatusUnprocessableEntity},
+		// Infeasible: d695 cannot fit one site on 4 channels.
+		{"/v1/optimize", `{"soc":"d695","channels":4,"depth":"64K"}`, http.StatusUnprocessableEntity},
+		// Invalid tester.
+		{"/v1/optimize", `{"soc":"d695","channels":1}`, http.StatusUnprocessableEntity},
+		{"/v1/sweep", `{"soc":"d695","depths":"64K:48K:16K"}`, http.StatusBadRequest},
+		{"/v1/sweep", `{"soc":"d695","channels_list":[256,512],"depths":"1K:4096K:1K"}`, http.StatusBadRequest},
+		// A tiny range string must not expand to petabytes of entries
+		// during JSON decode (bounded by cli.MaxSizeListEntries).
+		{"/v1/sweep", `{"soc":"d695","depths":"0:9007199254740992:1"}`, http.StatusBadRequest},
+		// Overflow-crafted sizes are rejected at parse, not wrapped.
+		{"/v1/optimize", `{"soc":"d695","depth":"1e30"}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, data := post(t, ts, c.path, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s %s: status %d, want %d (%s)", c.path, c.body, resp.StatusCode, c.status, data)
+			continue
+		}
+		var e errorResponse
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s %s: error body not JSON: %s", c.path, c.body, data)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, _ := get(t, ts, "/v1/optimize")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/optimize = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	post(t, ts, "/v1/optimize", optimizeD695)
+	post(t, ts, "/v1/optimize", optimizeD695)
+	resp, data := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	text := string(data)
+	for _, want := range []string{
+		`multisite_requests_total{endpoint="optimize"} 2`,
+		"multisite_cache_computes_total 1",
+		"multisite_cache_hits_total 1",
+		"multisite_memo_designs_total 1",
+		"multisite_compute_inflight 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"multisite/internal/ate"
+	"multisite/internal/cli"
+	"multisite/internal/core"
+	"multisite/internal/engine"
+	"multisite/internal/soc"
+	"multisite/internal/tam"
+)
+
+// ScenarioRequest is the JSON body of POST /v1/optimize, and the base
+// scenario of POST /v1/sweep. Exactly one of SOC (a built-in benchmark
+// name, see GET /v1/socs) or SOCText (an inline ITC'02-style description)
+// selects the chip. Zero-valued tester fields take the paper's Section 7
+// base cell defaults: N = 512 channels, D = 7 M vectors, 5 MHz clock,
+// ti = 0.65 s, tc = 0.1 s.
+type ScenarioRequest struct {
+	SOC     string `json:"soc,omitempty"`
+	SOCText string `json:"soc_text,omitempty"`
+
+	Channels  int      `json:"channels,omitempty"`
+	Depth     cli.Size `json:"depth,omitempty"`
+	ClockHz   float64  `json:"clock_hz,omitempty"`
+	Broadcast bool     `json:"broadcast,omitempty"`
+
+	IndexTime   *float64 `json:"index_time,omitempty"`
+	ContactTime *float64 `json:"contact_time,omitempty"`
+
+	ContactYield float64 `json:"contact_yield,omitempty"`
+	Yield        float64 `json:"yield,omitempty"`
+	AbortOnFail  bool    `json:"abort_on_fail,omitempty"`
+	Retest       bool    `json:"retest,omitempty"`
+	// ControlPins is the number of contacted pins beyond the k channels.
+	// Omitted means 0, matching the CLI and experiment defaults; -1
+	// selects core.DefaultControlPins.
+	ControlPins int `json:"control_pins,omitempty"`
+
+	// TAMSinglePass and TAMNoSqueeze expose the Step 1 ablation knobs.
+	TAMSinglePass bool `json:"tam_single_pass,omitempty"`
+	TAMNoSqueeze  bool `json:"tam_no_squeeze,omitempty"`
+}
+
+// Config assembles the optimizer configuration from the request.
+func (r *ScenarioRequest) Config() core.Config {
+	channels := r.Channels
+	if channels == 0 {
+		channels = 512
+	}
+	depth := int64(r.Depth)
+	if depth == 0 {
+		depth = 7 << 20
+	}
+	clock := r.ClockHz
+	if clock == 0 {
+		clock = 5e6
+	}
+	probe := ate.DefaultProbeStation()
+	if r.IndexTime != nil {
+		probe.IndexTime = *r.IndexTime
+	}
+	if r.ContactTime != nil {
+		probe.ContactTime = *r.ContactTime
+	}
+	return core.Config{
+		ATE:          ate.ATE{Channels: channels, Depth: depth, ClockHz: clock, Broadcast: r.Broadcast},
+		Probe:        probe,
+		ContactYield: r.ContactYield,
+		Yield:        r.Yield,
+		AbortOnFail:  r.AbortOnFail,
+		Retest:       r.Retest,
+		ControlPins:  r.ControlPins,
+		TAM:          tam.Options{SinglePass: r.TAMSinglePass, NoSqueeze: r.TAMNoSqueeze},
+	}
+}
+
+// SweepRequest is the JSON body of POST /v1/sweep: the base scenario plus
+// the axes to expand. Empty axes stay at the base scenario's value. The
+// response streams one NDJSON SweepRow per grid point, in deterministic
+// grid order (depths fastest among the design axes, then cost-model axes,
+// matching engine.Grid).
+type SweepRequest struct {
+	ScenarioRequest
+
+	// Depths accepts an array of sizes (["48K", 65536]) or a string
+	// comma list / start:stop:step range ("5M:14M:1M").
+	Depths cli.SizeList `json:"depths,omitempty"`
+	// ChannelsList sweeps the ATE channel count.
+	ChannelsList []int `json:"channels_list,omitempty"`
+	// ContactYields and Yields sweep the cost-model axes.
+	ContactYields []float64 `json:"contact_yields,omitempty"`
+	Yields        []float64 `json:"yields,omitempty"`
+	// BroadcastBoth sweeps both broadcast variants; AbortBoth and
+	// RetestBoth likewise for the Section 5 cost-model variants.
+	BroadcastBoth bool `json:"broadcast_both,omitempty"`
+	AbortBoth     bool `json:"abort_both,omitempty"`
+	RetestBoth    bool `json:"retest_both,omitempty"`
+}
+
+// Grid expands the request into the engine's sweep grid for the SOC.
+func (r *SweepRequest) Grid(s *soc.SOC) engine.Grid {
+	base := r.Config()
+	g := engine.Grid{
+		SOCs:          []*soc.SOC{s},
+		Channels:      r.ChannelsList,
+		Depths:        r.Depths,
+		ClockHz:       base.ATE.ClockHz,
+		Probe:         base.Probe,
+		ControlPins:   base.ControlPins,
+		TAM:           []tam.Options{base.TAM},
+		ContactYields: r.ContactYields,
+		Yields:        r.Yields,
+	}
+	if len(g.Channels) == 0 {
+		g.Channels = []int{base.ATE.Channels}
+	}
+	if len(g.Depths) == 0 {
+		g.Depths = []int64{base.ATE.Depth}
+	}
+	if len(g.ContactYields) == 0 {
+		g.ContactYields = []float64{base.ContactYield}
+	}
+	if len(g.Yields) == 0 {
+		g.Yields = []float64{base.Yield}
+	}
+	if r.BroadcastBoth {
+		g.Broadcast = []bool{false, true}
+	} else {
+		g.Broadcast = []bool{base.ATE.Broadcast}
+	}
+	if r.AbortBoth {
+		g.AbortOnFail = []bool{false, true}
+	} else {
+		g.AbortOnFail = []bool{base.AbortOnFail}
+	}
+	if r.RetestBoth {
+		g.Retest = []bool{false, true}
+	} else {
+		g.Retest = []bool{base.Retest}
+	}
+	return g
+}
+
+// SweepRow is one NDJSON line of a sweep response. Exactly one of Error
+// or the evaluation fields is meaningful. Rows are pure functions of
+// their scenario — no cache or timing state — so a repeated sweep is
+// byte-identical.
+type SweepRow struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+
+	Sites            int     `json:"sites,omitempty"`
+	MaxSites         int     `json:"max_sites,omitempty"`
+	Channels         int     `json:"channels,omitempty"`
+	TestCycles       int64   `json:"test_cycles,omitempty"`
+	TestTimeSec      float64 `json:"test_time_sec,omitempty"`
+	Throughput       float64 `json:"throughput,omitempty"`
+	UniqueThroughput float64 `json:"unique_throughput,omitempty"`
+	GainOverStep1    float64 `json:"gain_over_step1,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// snapshotView is the slice of a core.Snapshot a sweep row needs:
+// decoding into it skips allocating the curves and architecture texts,
+// which dominate a snapshot's size.
+type snapshotView struct {
+	MaxSites int           `json:"max_sites"`
+	Best     core.SiteEval `json:"best"`
+	Gain     float64       `json:"gain_over_step1"`
+}
+
+// rowFromSnapshot projects an optimization snapshot onto a sweep row.
+func rowFromSnapshot(index int, name string, snap *snapshotView) SweepRow {
+	return SweepRow{
+		Index:            index,
+		Name:             name,
+		Sites:            snap.Best.Sites,
+		MaxSites:         snap.MaxSites,
+		Channels:         snap.Best.Channels,
+		TestCycles:       snap.Best.TestCycles,
+		TestTimeSec:      snap.Best.TestTimeSec,
+		Throughput:       snap.Best.Throughput,
+		UniqueThroughput: snap.Best.UniqueThroughput,
+		GainOverStep1:    snap.Gain,
+	}
+}
+
+// SOCInfo is one entry of the GET /v1/socs listing.
+type SOCInfo struct {
+	Name          string `json:"name"`
+	Hash          string `json:"hash"`
+	Modules       int    `json:"modules"`
+	Testable      int    `json:"testable"`
+	TotalTestBits int64  `json:"total_test_bits"`
+}
+
+// errorResponse is the JSON error body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// cacheKey derives the content-addressed cache key of one scenario: a
+// SHA-256 over the canonical SOC hash and every configuration field that
+// affects the response, rendered in a fixed order with exact float
+// formatting. Two requests produce one key iff they describe the same
+// computation — a client uploading d695 inline shares entries with
+// requests naming the built-in benchmark.
+func cacheKey(socHash string, cfg core.Config) string {
+	var b strings.Builder
+	b.WriteString("optimize/v1|soc=")
+	b.WriteString(socHash)
+	fmt.Fprintf(&b, "|N=%d|D=%d|clk=%s|bc=%t",
+		cfg.ATE.Channels, cfg.ATE.Depth, fmtFloat(cfg.ATE.ClockHz), cfg.ATE.Broadcast)
+	fmt.Fprintf(&b, "|ti=%s|tc=%s", fmtFloat(cfg.Probe.IndexTime), fmtFloat(cfg.Probe.ContactTime))
+	fmt.Fprintf(&b, "|pc=%s|pm=%s|abort=%t|retest=%t|pins=%d",
+		fmtFloat(cfg.ContactYield), fmtFloat(cfg.Yield), cfg.AbortOnFail, cfg.Retest, cfg.ControlPins)
+	fmt.Fprintf(&b, "|rule=%d|maxw=%d|nosq=%t|single=%t",
+		cfg.TAM.Rule, cfg.TAM.MaxWires, cfg.TAM.NoSqueeze, cfg.TAM.SinglePass)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// fmtFloat renders a float64 exactly (shortest round-trip form), so keys
+// never collide on formatting precision.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

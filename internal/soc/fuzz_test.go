@@ -5,6 +5,35 @@ import (
 	"testing"
 )
 
+// adversarialSeeds are malformed and edge-case inputs surfaced by the HTTP
+// request path (/v1/optimize accepts inline SOC text from untrusted
+// clients): oversized terminal/pattern counts that overflow naive int64
+// volume math, zero- and negative-length scan chains, duplicate module IDs
+// and names, declared-vs-actual count mismatches, and junk where numbers
+// belong. The parser must reject or accept them without panicking, and
+// anything accepted must validate and round-trip.
+var adversarialSeeds = []string{
+	// Oversized modules: counts near int limits.
+	"SocName big\nModule 1 Inputs 2147483647 Outputs 2147483647 TotalPatterns 2147483647 ScanChains 0\n",
+	"SocName big\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 1 : 2147483647\n",
+	"SocName big\nModule 9223372036854775807 Inputs 1 TotalPatterns 1 ScanChains 0\n",
+	// Zero-width / negative chains (invalid: Validate must reject).
+	"SocName z\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 1 : 0\n",
+	"SocName z\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 2 : 5 -3\n",
+	// Duplicate module IDs and names.
+	"SocName dup\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 0\nModule 1 Inputs 2 TotalPatterns 2 ScanChains 0\n",
+	"SocName dup\nModule 1 Name a Inputs 1 TotalPatterns 1 ScanChains 0\nModule 2 Name a Inputs 2 TotalPatterns 2 ScanChains 0\n",
+	// Declared counts that disagree with reality.
+	"SocName n\nTotalModules 3\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 0\n",
+	"SocName n\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 5 : 1 2\n",
+	// Patterns without anything to shift; empty SOCs; junk values.
+	"SocName e\nModule 1 TotalPatterns 9 ScanChains 0\n",
+	"SocName e\n",
+	"SocName e\nModule 1 Inputs NaN TotalPatterns 1 ScanChains 0\n",
+	"SocName e\nModule 1 Inputs 0x10 TotalPatterns 1e3 ScanChains 0\n",
+	"SocName \xff\xfe\nModule 1 Inputs 1 TotalPatterns 1 ScanChains 0\n",
+}
+
 // FuzzParse exercises the .soc parser with arbitrary input: it must never
 // panic, and anything it accepts must be a valid SOC that round-trips.
 func FuzzParse(f *testing.F) {
@@ -13,6 +42,9 @@ func FuzzParse(f *testing.F) {
 	f.Add("SocName x\nTotalModules 1\nModule 1 Name a Level 2 Inputs 3 Outputs 4 Bidirs 5 TotalPatterns 6 Memory true ScanChains 2 : 7 8\n")
 	f.Add("# only comments\n")
 	f.Add("Module")
+	for _, seed := range adversarialSeeds {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, text string) {
 		s, err := ParseString(text)
 		if err != nil {
@@ -42,5 +74,39 @@ func FuzzParseModuleLine(f *testing.F) {
 		}
 		_, err := ParseString("SocName f\nModule " + line + "\n")
 		_ = err // must simply not panic
+	})
+}
+
+// FuzzCanonicalHash pins the content-hash contract the result cache keys
+// on: equal SOCs hash equal. For any accepted input, the Write/Parse
+// round trip (which preserves content exactly) must reproduce the hash,
+// and so must Clone; a content mutation must change it.
+func FuzzCanonicalHash(f *testing.F) {
+	f.Add(sampleText)
+	f.Add("SocName x\nModule 1 Name a Inputs 1 TotalPatterns 1 ScanChains 2 : 3 4\n")
+	for _, seed := range adversarialSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		h := s.Hash()
+		back, err := ParseString(WriteString(s))
+		if err != nil {
+			t.Fatalf("write output does not re-parse: %v", err)
+		}
+		if got := back.Hash(); got != h {
+			t.Fatalf("round trip changed hash: %s vs %s\ninput: %q", got, h, text)
+		}
+		if got := s.Clone().Hash(); got != h {
+			t.Fatalf("clone changed hash: %s vs %s", got, h)
+		}
+		mutated := s.Clone()
+		mutated.Modules[0].Patterns++
+		if mutated.Hash() == h {
+			t.Fatalf("pattern-count mutation did not change hash\ninput: %q", text)
+		}
 	})
 }

@@ -1,0 +1,64 @@
+package soc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+)
+
+// Hash returns the canonical content hash of the SOC as a hex string: a
+// SHA-256 over every field that determines test behaviour, serialized in
+// a fixed order. Two SOCs with identical content — name, module order,
+// and per-module parameters — hash identically, regardless of how they
+// were built (literal construction, Parse, Clone, a Write/Parse round
+// trip). The hash is the content-addressed identity the result cache and
+// HTTP serving layer key on: inline request SOCs that equal a built-in
+// benchmark share its cache entries.
+//
+// Module order is significant, matching the equality that the textual
+// round trip preserves: the architecture design itself is order-sensitive
+// (Step 1 tie-breaks on module position), so two reorderings of the same
+// module set are genuinely different design inputs.
+func (s *SOC) Hash() string {
+	h := sha256.New()
+	hashString(h, s.Name)
+	hashInt(h, len(s.Modules))
+	for i := range s.Modules {
+		m := &s.Modules[i]
+		hashInt(h, m.ID)
+		hashString(h, m.Name)
+		hashInt(h, m.Level)
+		hashInt(h, m.Inputs)
+		hashInt(h, m.Outputs)
+		hashInt(h, m.Bidirs)
+		hashInt(h, m.Patterns)
+		hashBool(h, m.IsMemory)
+		hashInt(h, len(m.ScanChains))
+		for _, c := range m.ScanChains {
+			hashInt(h, c.Length)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashString writes a length-prefixed string, so field boundaries are
+// unambiguous ("ab"+"c" never collides with "a"+"bc").
+func hashString(h hash.Hash, s string) {
+	hashInt(h, len(s))
+	h.Write([]byte(s))
+}
+
+func hashInt(h hash.Hash, v int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+	h.Write(buf[:])
+}
+
+func hashBool(h hash.Hash, v bool) {
+	if v {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+}

@@ -1,0 +1,81 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+)
+
+func hashSOC(t *testing.T, text string) (*SOC, string) {
+	t.Helper()
+	s, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return s, s.Hash()
+}
+
+func TestHashStable(t *testing.T) {
+	s, h1 := hashSOC(t, sampleText)
+	if h2 := s.Hash(); h2 != h1 {
+		t.Errorf("hash not stable: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Errorf("want 64 hex chars, got %d (%s)", len(h1), h1)
+	}
+	if h1 != strings.ToLower(h1) {
+		t.Errorf("hash not lowercase hex: %s", h1)
+	}
+}
+
+func TestHashRoundTrip(t *testing.T) {
+	s, h := hashSOC(t, sampleText)
+	back, err := ParseString(WriteString(s))
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if got := back.Hash(); got != h {
+		t.Errorf("round trip changed hash: %s vs %s", got, h)
+	}
+	if got := s.Clone().Hash(); got != h {
+		t.Errorf("clone changed hash: %s vs %s", got, h)
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	base, h := hashSOC(t, sampleText)
+	mutate := []func(*SOC){
+		func(s *SOC) { s.Name = "other" },
+		func(s *SOC) { s.Modules[1].Patterns++ },
+		func(s *SOC) { s.Modules[1].Inputs++ },
+		func(s *SOC) { s.Modules[1].Name += "x" },
+		func(s *SOC) { s.Modules[1].IsMemory = !s.Modules[1].IsMemory },
+		func(s *SOC) { s.Modules = s.Modules[:len(s.Modules)-1] },
+		func(s *SOC) {
+			if len(s.Modules[2].ScanChains) > 0 {
+				s.Modules[2].ScanChains[0].Length++
+			} else {
+				s.Modules[2].ScanChains = ChainsOfLengths(7)
+			}
+		},
+		// Swapping two modules must change the hash: module order is a
+		// design input (Step 1 tie-breaks on position).
+		func(s *SOC) { s.Modules[1], s.Modules[2] = s.Modules[2], s.Modules[1] },
+	}
+	for i, f := range mutate {
+		c := base.Clone()
+		f(c)
+		if c.Hash() == h {
+			t.Errorf("mutation %d did not change the hash", i)
+		}
+	}
+}
+
+// TestHashFieldBoundaries pins the length-prefix framing: shifting a
+// character between adjacent string fields must not collide.
+func TestHashFieldBoundaries(t *testing.T) {
+	a := &SOC{Name: "ab", Modules: []Module{{ID: 1, Name: "c", Inputs: 1, Patterns: 1}}}
+	b := &SOC{Name: "a", Modules: []Module{{ID: 1, Name: "bc", Inputs: 1, Patterns: 1}}}
+	if a.Hash() == b.Hash() {
+		t.Error("boundary shift collided")
+	}
+}

@@ -325,22 +325,22 @@ const (
 type Options struct {
 	// Rule is the option-selection rule (default: the paper's
 	// RuleMaxFreeMemory).
-	Rule OptionRule
+	Rule OptionRule `json:"rule"`
 	// MaxWires caps the total TAM wires; 0 means Channels/2 of the ATE.
-	MaxWires int
+	MaxWires int `json:"max_wires"`
 	// NoSqueeze disables the minimal-channel squeeze: by default,
 	// Step 1 re-runs the greedy under progressively tighter wire caps
 	// until infeasible, implementing the paper's "criterion 1 (minimize
 	// k) has priority" at full strength. A tighter cap prunes wide
 	// options and forces the greedy into denser packings it would not
 	// otherwise pick.
-	NoSqueeze bool
+	NoSqueeze bool `json:"no_squeeze"`
 	// SinglePass disables the restart portfolio and uses only the
 	// paper's literal heuristic (modules sorted by decreasing minimum
 	// width, groups chosen by smallest added depth). By default Step 1
 	// also tries alternative module orders and a best-fit group choice
 	// and keeps the architecture with the fewest channels.
-	SinglePass bool
+	SinglePass bool `json:"single_pass"`
 }
 
 // sortOrder selects the module processing order of one restart.
