@@ -9,6 +9,8 @@
 //	experiments -list
 //	experiments -csv fig6a      # machine-readable series
 //	experiments -workers 8      # bound the sweep-engine pool
+//	experiments -solver exact fig5   # rerun a figure under another backend
+//	experiments -list-solvers
 //	experiments -cpuprofile cpu.pprof -memprofile mem.pprof table1
 //
 // Every experiment fans its grid points across the internal/engine worker
@@ -57,14 +59,25 @@ func notesOf(fig *report.Figure) []string {
 
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list available experiments")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot       = flag.Bool("plot", false, "render figures as ASCII charts as well")
-		workers    = flag.Int("workers", 0, "sweep-engine worker pool size (0 = GOMAXPROCS)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		list        = flag.Bool("list", false, "list available experiments")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot        = flag.Bool("plot", false, "render figures as ASCII charts as well")
+		workers     = flag.Int("workers", 0, "sweep-engine worker pool size (0 = GOMAXPROCS)")
+		solver      = flag.String("solver", "", "optimizer backend for every experiment job (see -list-solvers; default heuristic)")
+		listSolvers = flag.Bool("list-solvers", false, "list the registered optimizer backends")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *listSolvers {
+		cli.PrintSolvers(os.Stdout)
+		return
+	}
+	solverName, err := cli.ResolveSolver(*solver)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	stopProfiles, err := cli.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -85,6 +98,7 @@ func main() {
 		}
 	}()
 	experiments.Workers = *workers
+	experiments.Solver = solverName
 	// One memo for the whole invocation: experiments sharing a design key
 	// (e.g. the PNX8550 base cell) optimize it once.
 	experiments.DesignMemo = engine.NewMemo()
@@ -141,7 +155,11 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		t := exp.run()
+		t, err := runExperiment(exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			die(1)
+		}
 		if *csv {
 			if err := t.WriteCSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -153,9 +171,39 @@ func main() {
 		}
 		if *plot {
 			if f, ok := figures[name]; ok {
+				fig, err := runFigure(f)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					die(1)
+				}
 				fmt.Println()
-				fmt.Print(f().Plot(report.PlotOptions{}))
+				fmt.Print(fig.Plot(report.PlotOptions{}))
 			}
 		}
+	}
+}
+
+// runExperiment runs one catalog entry, converting a solver-induced
+// infeasibility (experiments.SolverJobError — a user picked a backend
+// that cannot handle the experiment's grid) into a clean error instead
+// of a stack trace. Genuine programming-error panics keep panicking.
+func runExperiment(exp experiment) (t *report.Table, err error) {
+	defer recoverSolverJobError(&err)
+	return exp.run(), nil
+}
+
+// runFigure is runExperiment for the -plot path.
+func runFigure(f func() *report.Figure) (fig *report.Figure, err error) {
+	defer recoverSolverJobError(&err)
+	return f(), nil
+}
+
+func recoverSolverJobError(err *error) {
+	switch p := recover().(type) {
+	case nil:
+	case *experiments.SolverJobError:
+		*err = p
+	default:
+		panic(p)
 	}
 }

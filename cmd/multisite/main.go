@@ -21,6 +21,12 @@
 //	multisite -soc d695 -channels 256 -sweep-depths 48K,64K,128K \
 //	    -broadcast-both -progress
 //	multisite -soc pnx8550 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	multisite -soc d695 -channels 256 -depth 64K -solver exact
+//	multisite -list-solvers
+//
+// -solver selects the optimizer backend from the internal/solve registry
+// (default: the paper's two-step heuristic); -list-solvers prints the
+// menu. The backend applies to single runs and sweeps alike.
 package main
 
 import (
@@ -42,21 +48,24 @@ import (
 
 func main() {
 	var (
-		socName   = flag.String("soc", "", "built-in benchmark name: "+strings.Join(benchdata.Names(), ", "))
-		file      = flag.String("file", "", "path to an ITC'02-style .soc file")
-		channels  = flag.Int("channels", 512, "ATE channel count N")
-		depthStr  = flag.String("depth", "7M", "vector memory depth per channel (e.g. 64K, 7M, 100000)")
-		clock     = flag.Float64("clock", 5e6, "test clock frequency in Hz")
-		broadcast = flag.Bool("broadcast", false, "ATE supports stimuli broadcast")
-		indexTime = flag.Float64("index", 0.65, "prober index time ti in seconds")
-		contact   = flag.Float64("contact", 0.1, "contact test time tc in seconds")
-		pc        = flag.Float64("contact-yield", 1, "per-terminal contact yield pc")
-		pm        = flag.Float64("yield", 1, "per-SOC manufacturing yield pm")
-		abort     = flag.Bool("abort", false, "model abort-on-fail")
-		retest    = flag.Bool("retest", false, "model re-testing of contact failures")
-		netlist   = flag.Bool("netlist", false, "emit the E-RPCT wrapper netlist")
-		showArch  = flag.Bool("arch", false, "print the channel-group architecture in full")
-		saveArch  = flag.String("save", "", "save the optimal architecture to this file")
+		socName     = flag.String("soc", "", "built-in benchmark name: "+strings.Join(benchdata.Names(), ", "))
+		file        = flag.String("file", "", "path to an ITC'02-style .soc file")
+		channels    = flag.Int("channels", 512, "ATE channel count N")
+		depthStr    = flag.String("depth", "7M", "vector memory depth per channel (e.g. 64K, 7M, 100000)")
+		clock       = flag.Float64("clock", 5e6, "test clock frequency in Hz")
+		broadcast   = flag.Bool("broadcast", false, "ATE supports stimuli broadcast")
+		indexTime   = flag.Float64("index", 0.65, "prober index time ti in seconds")
+		contact     = flag.Float64("contact", 0.1, "contact test time tc in seconds")
+		pc          = flag.Float64("contact-yield", 1, "per-terminal contact yield pc")
+		pm          = flag.Float64("yield", 1, "per-SOC manufacturing yield pm")
+		abort       = flag.Bool("abort", false, "model abort-on-fail")
+		retest      = flag.Bool("retest", false, "model re-testing of contact failures")
+		solver      = flag.String("solver", "", "optimizer backend (see -list-solvers; default heuristic)")
+		listSolvers = flag.Bool("list-solvers", false, "list the registered optimizer backends")
+
+		netlist  = flag.Bool("netlist", false, "emit the E-RPCT wrapper netlist")
+		showArch = flag.Bool("arch", false, "print the channel-group architecture in full")
+		saveArch = flag.String("save", "", "save the optimal architecture to this file")
 
 		sweepDepths   = flag.String("sweep-depths", "", "depth sweep: comma list (48K,64K) or start:stop:step (5M:14M:1M)")
 		sweepChannels = flag.String("sweep-channels", "", "channel-count sweep: comma list (256,512,1024)")
@@ -69,6 +78,14 @@ func main() {
 		memprofile    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	if *listSolvers {
+		cli.PrintSolvers(os.Stdout)
+		return
+	}
+	solverName, err := cli.ResolveSolver(*solver)
+	if err != nil {
+		fatal(err)
+	}
 	stop, err := cli.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
@@ -97,6 +114,7 @@ func main() {
 			fatal(fmt.Errorf("-save, -arch, and -netlist apply to single-scenario runs, not sweeps"))
 		}
 		grid, err := buildGrid(s, gridFlags{
+			solver:   solverName,
 			channels: *channels, depth: depth, clock: *clock, broadcast: *broadcast,
 			probe: probe, pc: *pc, pm: *pm, abort: *abort, retest: *retest,
 			sweepDepths: *sweepDepths, sweepChannels: *sweepChannels,
@@ -120,7 +138,8 @@ func main() {
 		Retest:       *retest,
 	}
 	// The single-scenario flow is a one-job sweep.
-	results, _ := engine.Run(context.Background(), []engine.Job{{Name: s.Name, SOC: s, Config: cfg}},
+	results, _ := engine.Run(context.Background(),
+		[]engine.Job{{Name: s.Name, SOC: s, Config: cfg, Solver: solverName}},
 		engine.Options{Workers: 1})
 	res := results[0]
 	if res.Err != nil {
@@ -189,6 +208,7 @@ func main() {
 
 // gridFlags bundles the sweep-relevant flag values.
 type gridFlags struct {
+	solver        string
 	channels      int
 	depth         int64
 	clock         float64
@@ -240,6 +260,7 @@ func buildGrid(s *soc.SOC, f gridFlags) (engine.Grid, error) {
 	}
 	return engine.Grid{
 		SOCs:          []*soc.SOC{s},
+		Solvers:       []string{f.solver},
 		Channels:      chans,
 		Depths:        depths,
 		ClockHz:       f.clock,

@@ -6,7 +6,12 @@
 //
 //	serve -addr :8080
 //	curl -s localhost:8080/v1/socs
+//	curl -s localhost:8080/v1/solvers
 //	curl -s -X POST localhost:8080/v1/optimize \
+//	    -d '{"soc":"d695","channels":256,"depth":"64K"}'
+//	curl -s -X POST localhost:8080/v1/optimize \
+//	    -d '{"soc":"d695","channels":256,"depth":"64K","solver":"exact"}'
+//	curl -s -X POST localhost:8080/v1/compare \
 //	    -d '{"soc":"d695","channels":256,"depth":"64K"}'
 //	curl -sN -X POST localhost:8080/v1/sweep \
 //	    -d '{"soc":"pnx8550","depths":"5M:14M:1M","contact_yields":[1,0.999,0.99]}'
@@ -24,10 +29,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"multisite/internal/server"
+	"multisite/internal/solve"
 )
 
 func main() {
@@ -55,7 +62,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (solvers: %s; default %s)\n",
+		*addr, strings.Join(solve.Names(), ", "), solve.DefaultName)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -15,6 +15,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -107,6 +108,14 @@ func (p *Packing) Validate() error {
 // theoretical lower bound and grow the bin width until the skyline packer
 // fits everything.
 func Design(s *soc.SOC, target ate.ATE) (*Packing, error) {
+	return DesignCtx(context.Background(), s, target)
+}
+
+// DesignCtx is Design with cancellation: the context is polled before each
+// bin-width attempt (one full skyline packing per width), so a cancelled
+// caller abandons the width escalation promptly. A cancelled design
+// returns the context's error and no partial packing.
+func DesignCtx(ctx context.Context, s *soc.SOC, target ate.ATE) (*Packing, error) {
 	if err := target.Validate(); err != nil {
 		return nil, err
 	}
@@ -121,6 +130,9 @@ func Design(s *soc.SOC, target ate.ATE) (*Packing, error) {
 			s.Name, target.Depth, maxWires)
 	}
 	for w := lb; w <= maxWires; w++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if pk := tryPack(d, s, w, target.Depth); pk != nil {
 			return pk, nil
 		}

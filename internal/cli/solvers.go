@@ -1,0 +1,39 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"multisite/internal/solve"
+)
+
+// ResolveSolver validates a -solver flag value against the registry and
+// returns the backend's canonical name; the empty string resolves to the
+// default heuristic. The error lists the valid names, so a typo on the
+// command line surfaces the whole menu.
+func ResolveSolver(name string) (string, error) {
+	sv, err := solve.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return sv.Name(), nil
+}
+
+// PrintSolvers writes the registered optimizer backends as an aligned
+// listing — the shared body of the -list-solvers flag on cmd/experiments
+// and cmd/multisite.
+func PrintSolvers(w io.Writer) {
+	for _, info := range solve.Infos() {
+		mark := " "
+		if info.Name == solve.DefaultName {
+			mark = "*"
+		}
+		bound := ""
+		if info.MaxModules > 0 {
+			bound = fmt.Sprintf(" (<= %d modules)", info.MaxModules)
+		}
+		fmt.Fprintf(w, "%s %-10s %s%s\n", mark, info.Name, info.Description, bound)
+		fmt.Fprintf(w, "  %-10s cost: %s\n", "", info.Complexity)
+	}
+	fmt.Fprintf(w, "* default\n")
+}

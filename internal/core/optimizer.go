@@ -138,6 +138,29 @@ func OptimizeCtx(ctx context.Context, s *soc.SOC, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return buildResult(ctx, s, cfg, step1)
+}
+
+// BuildResult runs the shared downstream of the two-step algorithm — the
+// nmax bound, the Step 2 widening sequence, and the per-site-count
+// throughput curves — on an externally designed Step 1 architecture. It is
+// the seam the pluggable solver backends (internal/solve) attach to: the
+// exact branch-and-bound and the rectangle-packing baseline each produce
+// their own channel-group architecture and feed it through here, so every
+// backend's Result is shaped (and scored) identically to the heuristic's.
+// The architecture must belong to s and fit cfg.ATE's depth; cfg is
+// normalized and its probe validated, exactly as OptimizeCtx does.
+func BuildResult(ctx context.Context, s *soc.SOC, cfg Config, step1 *tam.Architecture) (*Result, error) {
+	cfg = cfg.normalized()
+	if err := cfg.Probe.Validate(); err != nil {
+		return nil, err
+	}
+	return buildResult(ctx, s, cfg, step1)
+}
+
+// buildResult is the common tail of OptimizeCtx and BuildResult; cfg is
+// already normalized and probe-validated.
+func buildResult(ctx context.Context, s *soc.SOC, cfg Config, step1 *tam.Architecture) (*Result, error) {
 	k := step1.Channels()
 	nmax := cfg.ATE.MaxSites(k)
 	if nmax < 1 {
@@ -151,10 +174,11 @@ func OptimizeCtx(ctx context.Context, s *soc.SOC, cfg Config) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res.Arches, err = step2Arches(ctx, cfg.ATE, step1, nmax)
+	arches, err := step2Arches(ctx, cfg.ATE, step1, nmax)
 	if err != nil {
 		return nil, err
 	}
+	res.Arches = arches
 
 	for n := nmax; n >= 1; n-- {
 		// Step 1-only line: same architecture at every site count.

@@ -48,6 +48,11 @@ type Job struct {
 	SOC *soc.SOC
 	// Config is the full optimizer configuration, cost model included.
 	Config core.Config
+	// Solver names the registry backend (internal/solve) that designs the
+	// job's Step 1 architecture; empty means the default heuristic. The
+	// solver is part of the memo's design key, so jobs differing only in
+	// backend never share a cached design.
+	Solver string
 }
 
 // JobResult is the outcome of one job. Exactly one of Err or the result
@@ -194,7 +199,7 @@ func runJob(ctx context.Context, i int, j Job, memo *Memo) (r JobResult) {
 		r.Err = err
 		return r
 	}
-	design, err := memo.DesignCtx(ctx, j.SOC, j.Config)
+	design, err := memo.DesignSolverCtx(ctx, j.Solver, j.SOC, j.Config)
 	if err != nil {
 		r.Err = err
 		return r

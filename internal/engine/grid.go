@@ -11,18 +11,23 @@ import (
 	"multisite/internal/tam"
 )
 
-// Grid describes a SOC × ATE × cost-model sweep. Jobs expands it into the
-// full cartesian product with a deterministic order: SOCs vary slowest,
-// then Channels, Depths, Broadcast and TAM (the design-key axes), then the
-// cost-model axes (ContactYields, Yields, AbortOnFail, Retest) fastest —
-// so consecutive jobs share a design key and a Memo turns the cost-model
-// inner loops into cheap re-scores.
+// Grid describes a solver × SOC × ATE × cost-model sweep. Jobs expands it
+// into the full cartesian product with a deterministic order: Solvers vary
+// slowest, then SOCs, Channels, Depths, Broadcast and TAM (the design-key
+// axes), then the cost-model axes (ContactYields, Yields, AbortOnFail,
+// Retest) fastest — so consecutive jobs share a design key and a Memo
+// turns the cost-model inner loops into cheap re-scores.
 type Grid struct {
 	// SOCs, Channels, and Depths are the required axes; an empty one
 	// yields no jobs.
 	SOCs     []*soc.SOC
 	Channels []int
 	Depths   []int64
+	// Solvers lists the registry backends (internal/solve) to design
+	// with; empty means the default heuristic. A design-key axis, and the
+	// slowest-varying of all: every other axis completes for one backend
+	// before the next backend starts, keeping its designs memo-hot.
+	Solvers []string
 	// ClockHz is the test clock shared by every grid point.
 	ClockHz float64
 	// Broadcast lists the stimuli-broadcast variants; empty means
@@ -51,7 +56,7 @@ type Grid struct {
 func (g Grid) Size() int {
 	n := satMul(satMul(len(g.SOCs), len(g.Channels)), len(g.Depths))
 	for _, a := range []int{
-		len(g.Broadcast), len(g.TAM), len(g.ContactYields),
+		len(g.Solvers), len(g.Broadcast), len(g.TAM), len(g.ContactYields),
 		len(g.Yields), len(g.AbortOnFail), len(g.Retest),
 	} {
 		if a > 1 {
@@ -76,6 +81,10 @@ func satMul(a, b int) int {
 // axis that actually varies (len > 1), so names are unique within the
 // grid and stable across runs.
 func (g Grid) Jobs() []Job {
+	solvers := g.Solvers
+	if len(solvers) == 0 {
+		solvers = []string{""}
+	}
 	broadcast := orBools(g.Broadcast)
 	tams := g.TAM
 	if len(tams) == 0 {
@@ -93,60 +102,66 @@ func (g Grid) Jobs() []Job {
 		presize = 1 << 20
 	}
 	jobs := make([]Job, 0, presize)
-	for _, s := range g.SOCs {
-		for _, ch := range g.Channels {
-			for _, depth := range g.Depths {
-				for _, bc := range broadcast {
-					for ti, topt := range tams {
-						for _, pc := range pcs {
-							for _, pm := range pms {
-								for _, abort := range aborts {
-									for _, retest := range retests {
-										var parts []string
-										parts = append(parts, s.Name)
-										if len(g.Channels) > 1 {
-											parts = append(parts, fmt.Sprintf("N%d", ch))
-										}
-										if len(g.Depths) > 1 {
-											parts = append(parts, "D"+FormatDepth(depth))
-										}
-										if len(broadcast) > 1 {
-											parts = append(parts, boolPart(bc, "bc", "nobc"))
-										}
-										if len(tams) > 1 {
-											parts = append(parts, fmt.Sprintf("tam%d", ti))
-										}
-										if len(pcs) > 1 {
-											parts = append(parts, fmt.Sprintf("pc%g", pc))
-										}
-										if len(pms) > 1 {
-											parts = append(parts, fmt.Sprintf("pm%g", pm))
-										}
-										if len(aborts) > 1 {
-											parts = append(parts, boolPart(abort, "abort", "noabort"))
-										}
-										if len(retests) > 1 {
-											parts = append(parts, boolPart(retest, "retest", "noretest"))
-										}
-										jobs = append(jobs, Job{
-											Name: strings.Join(parts, "/"),
-											SOC:  s,
-											Config: core.Config{
-												ATE: ate.ATE{
-													Channels:  ch,
-													Depth:     depth,
-													ClockHz:   g.ClockHz,
-													Broadcast: bc,
+	for _, solver := range solvers {
+		for _, s := range g.SOCs {
+			for _, ch := range g.Channels {
+				for _, depth := range g.Depths {
+					for _, bc := range broadcast {
+						for ti, topt := range tams {
+							for _, pc := range pcs {
+								for _, pm := range pms {
+									for _, abort := range aborts {
+										for _, retest := range retests {
+											var parts []string
+											parts = append(parts, s.Name)
+											if len(solvers) > 1 {
+												parts = append(parts, solver)
+											}
+											if len(g.Channels) > 1 {
+												parts = append(parts, fmt.Sprintf("N%d", ch))
+											}
+											if len(g.Depths) > 1 {
+												parts = append(parts, "D"+FormatDepth(depth))
+											}
+											if len(broadcast) > 1 {
+												parts = append(parts, boolPart(bc, "bc", "nobc"))
+											}
+											if len(tams) > 1 {
+												parts = append(parts, fmt.Sprintf("tam%d", ti))
+											}
+											if len(pcs) > 1 {
+												parts = append(parts, fmt.Sprintf("pc%g", pc))
+											}
+											if len(pms) > 1 {
+												parts = append(parts, fmt.Sprintf("pm%g", pm))
+											}
+											if len(aborts) > 1 {
+												parts = append(parts, boolPart(abort, "abort", "noabort"))
+											}
+											if len(retests) > 1 {
+												parts = append(parts, boolPart(retest, "retest", "noretest"))
+											}
+											jobs = append(jobs, Job{
+												Name:   strings.Join(parts, "/"),
+												Solver: solver,
+												SOC:    s,
+												Config: core.Config{
+													ATE: ate.ATE{
+														Channels:  ch,
+														Depth:     depth,
+														ClockHz:   g.ClockHz,
+														Broadcast: bc,
+													},
+													Probe:        g.Probe,
+													ContactYield: pc,
+													Yield:        pm,
+													AbortOnFail:  abort,
+													Retest:       retest,
+													ControlPins:  g.ControlPins,
+													TAM:          topt,
 												},
-												Probe:        g.Probe,
-												ContactYield: pc,
-												Yield:        pm,
-												AbortOnFail:  abort,
-												Retest:       retest,
-												ControlPins:  g.ControlPins,
-												TAM:          topt,
-											},
-										})
+											})
+										}
 									}
 								}
 							}

@@ -9,17 +9,21 @@ import (
 	"multisite/internal/ate"
 	"multisite/internal/core"
 	"multisite/internal/soc"
+	"multisite/internal/solve"
 	"multisite/internal/tam"
 )
 
 // designKey identifies everything the Step 1+2 architecture design depends
-// on. Cost-model fields (probe timing, yields, abort, re-test, control
+// on, the solver backend included: "exact" and "heuristic" designs for one
+// (SOC, ATE, TAM) must never alias (see TestMemoSolverDimension).
+// Cost-model fields (probe timing, yields, abort, re-test, control
 // pins) deliberately do not appear: they only affect scoring, which
 // Result.ReEvaluate recomputes per job.
 type designKey struct {
-	soc *soc.SOC
-	ate ate.ATE
-	tam tam.Options
+	soc    *soc.SOC
+	ate    ate.ATE
+	tam    tam.Options
+	solver string
 }
 
 // memoEntry computes its design exactly once, even when many workers
@@ -32,8 +36,8 @@ type memoEntry struct {
 	err  error
 }
 
-// Memo caches Step 1+2 architecture designs keyed on (SOC, ATE, TAM
-// options). The design is the expensive part of a job — wrapper fitting,
+// Memo caches Step 1+2 architecture designs keyed on (solver, SOC, ATE,
+// TAM options). The design is the expensive part of a job — wrapper fitting,
 // the greedy channel-group search, the squeeze portfolio — while re-scoring
 // a cached design under a different cost model is a few float operations
 // per site count. A grid sweep over y yield variants of the same tester
@@ -88,6 +92,11 @@ func (m *Memo) Design(s *soc.SOC, cfg core.Config) (*core.Result, error) {
 	return m.DesignCtx(context.Background(), s, cfg)
 }
 
+// DesignSolver is DesignSolverCtx without cancellation.
+func (m *Memo) DesignSolver(solver string, s *soc.SOC, cfg core.Config) (*core.Result, error) {
+	return m.DesignSolverCtx(context.Background(), solver, s, cfg)
+}
+
 // DesignCtx is Design with cancellation semantics fit for a serving
 // layer: concurrent requests for one key still compute exactly once
 // (singleflight), but a waiter whose own context expires unblocks
@@ -96,8 +105,21 @@ func (m *Memo) Design(s *soc.SOC, cfg core.Config) (*core.Result, error) {
 // the poisoned entry is dropped so the next request recomputes instead of
 // replaying a stale cancellation error forever.
 func (m *Memo) DesignCtx(ctx context.Context, s *soc.SOC, cfg core.Config) (*core.Result, error) {
+	return m.DesignSolverCtx(ctx, "", s, cfg)
+}
+
+// DesignSolverCtx is DesignCtx with an explicit solver backend: the design
+// is produced by the named registry backend (empty means the default
+// heuristic) and cached under a key that includes the solver's canonical
+// name, so two backends' designs for one (SOC, ATE, TAM) never alias. An
+// unknown solver name errors immediately and is never cached.
+func (m *Memo) DesignSolverCtx(ctx context.Context, solver string, s *soc.SOC, cfg core.Config) (*core.Result, error) {
+	sv, err := solve.Get(solver)
+	if err != nil {
+		return nil, err
+	}
 	m.requests.Add(1)
-	key := designKey{soc: s, ate: cfg.ATE, tam: cfg.TAM}
+	key := designKey{soc: s, ate: cfg.ATE, tam: cfg.TAM, solver: sv.Name()}
 	for {
 		v, ok := m.entries.Load(key)
 		if !ok {
@@ -114,7 +136,7 @@ func (m *Memo) DesignCtx(ctx context.Context, s *soc.SOC, cfg core.Config) (*cor
 			} else {
 				m.size.Add(1)
 				m.misses.Add(1)
-				e.res, e.err = core.OptimizeCtx(ctx, s, designConfig(cfg))
+				e.res, e.err = sv.Solve(ctx, s, designConfig(cfg))
 				if isCancellation(e.err) {
 					// Do not cache a cancellation: it reflects this
 					// request's deadline, not the design's feasibility.

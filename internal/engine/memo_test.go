@@ -102,6 +102,54 @@ func TestMemoWaiterCancellation(t *testing.T) {
 	}
 }
 
+// TestMemoSolverDimension is the cache-key regression test for the solver
+// dimension: before the solve registry, memo entries were keyed only on
+// (SOC, ATE, TAM), so an "exact" design and a "heuristic" design for the
+// same scenario would have aliased to one entry. Two backends on one
+// scenario must produce two distinct cached designs, and a repeat request
+// per backend must hit its own entry.
+func TestMemoSolverDimension(t *testing.T) {
+	memo := NewMemo()
+	s := benchdata.Shared("d695")
+	cfg := memoConfig()
+
+	heur, err := memo.DesignSolverCtx(context.Background(), "heuristic", s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := memo.DesignSolverCtx(context.Background(), "exact", s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heur == ex {
+		t.Fatal("exact and heuristic designs aliased to one memo entry")
+	}
+	if heur.Step1.TestCycles() == ex.Step1.TestCycles() && heur.Step1.Wires() == ex.Step1.Wires() &&
+		memo.Len() != 2 {
+		t.Fatalf("memo holds %d designs, want 2 (one per solver)", memo.Len())
+	}
+	if _, misses := memo.Stats(); misses != 2 {
+		t.Fatalf("misses = %d, want 2: each solver designs once", misses)
+	}
+	// Repeats hit the per-solver entries; the default-name spellings ""
+	// and "heuristic" share one.
+	for _, name := range []string{"", "heuristic", "exact"} {
+		if _, err := memo.DesignSolverCtx(context.Background(), name, s, cfg); err != nil {
+			t.Fatalf("repeat %q: %v", name, err)
+		}
+	}
+	if _, misses := memo.Stats(); misses != 2 {
+		t.Errorf("misses after repeats = %d, want 2 (all repeats cached)", misses)
+	}
+	// Unknown solvers error immediately and never occupy an entry.
+	if _, err := memo.DesignSolverCtx(context.Background(), "simplex", s, cfg); err == nil {
+		t.Error("unknown solver did not error")
+	}
+	if memo.Len() != 2 {
+		t.Errorf("unknown solver changed the memo: %d entries", memo.Len())
+	}
+}
+
 // TestMemoBoundedResets checks the bounded memo caps its live designs:
 // exceeding the bound resets the map, and designs recompute correctly
 // afterwards.

@@ -18,6 +18,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 
 	"multisite/internal/ate"
@@ -47,11 +48,18 @@ type Solution struct {
 // Channels returns 2·Wires.
 func (s *Solution) Channels() int { return 2 * s.Wires }
 
+// cancelCheckInterval is how many recurse entries pass between context
+// polls: rare enough that the atomic-free counter check stays invisible
+// in profiles, frequent enough that cancellation lands within
+// microseconds on any lattice worth pruning.
+const cancelCheckInterval = 1024
+
 type solver struct {
 	d        *wrapper.Designer
 	modules  []int
 	depth    int64
 	maxWires int
+	ctx      context.Context
 
 	// search state
 	blocks  [][]int // current partition blocks
@@ -59,11 +67,22 @@ type solver struct {
 	cost    int     // Σ widths
 	best    *Solution
 	visited int
+	calls   int   // recurse entries since the last context poll
+	err     error // context error observed mid-search; unwinds the recursion
 }
 
 // Solve finds the minimum-wire channel-group design of the SOC on the
 // target ATE, or an error if the SOC is too large or infeasible.
 func Solve(s *soc.SOC, target ate.ATE) (*Solution, error) {
+	return SolveCtx(context.Background(), s, target)
+}
+
+// SolveCtx is Solve with cancellation: the branch-and-bound polls the
+// context every cancelCheckInterval recursion steps (and once up front),
+// so a serving-layer deadline abandons even a hostile partition lattice
+// promptly. A cancelled search returns the context's error and no partial
+// solution.
+func SolveCtx(ctx context.Context, s *soc.SOC, target ate.ATE) (*Solution, error) {
 	if err := target.Validate(); err != nil {
 		return nil, err
 	}
@@ -78,11 +97,15 @@ func Solve(s *soc.SOC, target ate.ATE) (*Solution, error) {
 		return nil, fmt.Errorf("exact: %d testable modules exceed the exact-search limit of %d",
 			len(modules), MaxModules)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sv := &solver{
 		d:        wrapper.For(s),
 		modules:  modules,
 		depth:    target.Depth,
 		maxWires: target.Channels / 2,
+		ctx:      ctx,
 	}
 	// Feasibility of each module alone bounds the whole search.
 	for _, mi := range modules {
@@ -92,6 +115,9 @@ func Solve(s *soc.SOC, target ate.ATE) (*Solution, error) {
 		}
 	}
 	sv.recurse(0)
+	if sv.err != nil {
+		return nil, sv.err
+	}
 	if sv.best == nil {
 		return nil, fmt.Errorf("exact: no feasible partition within %d wires", sv.maxWires)
 	}
@@ -134,6 +160,16 @@ func (sv *solver) blockMinWidth(members []int) (int, bool) {
 // partitions — pruning when the monotone partial cost cannot beat the
 // incumbent.
 func (sv *solver) recurse(i int) {
+	if sv.err != nil {
+		return // cancelled: unwind without exploring further
+	}
+	if sv.calls++; sv.calls >= cancelCheckInterval {
+		sv.calls = 0
+		if err := sv.ctx.Err(); err != nil {
+			sv.err = err
+			return
+		}
+	}
 	if sv.best != nil && sv.cost >= sv.best.Wires {
 		return // partial cost only grows as modules are added
 	}

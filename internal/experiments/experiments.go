@@ -20,6 +20,7 @@ import (
 	"multisite/internal/engine"
 	"multisite/internal/report"
 	"multisite/internal/soc"
+	"multisite/internal/solve"
 	"multisite/internal/tam"
 	"multisite/internal/wafer"
 	"multisite/internal/wrapper"
@@ -49,6 +50,14 @@ var Workers int
 // comparable cost. Memoization does not change any output bit.
 var DesignMemo *engine.Memo
 
+// Solver names the registry backend (internal/solve) every experiment's
+// optimization jobs design with; empty means the default heuristic, which
+// reproduces the paper's published numbers. cmd/experiments exposes it as
+// -solver — rerunning a figure under the exact or baseline backend turns
+// any experiment into a backend comparison. Jobs that set their own
+// Solver (none of the stock experiments do) keep it.
+var Solver string
+
 // PNXConfig builds the standard configuration around the PNX8550
 // experiments: given channel count, depth, and broadcast capability, with
 // ti = 0.65 s and tc = 0.1 s (see DESIGN.md §4 on these constants).
@@ -59,14 +68,43 @@ func PNXConfig(channels int, depth int64, broadcast bool) core.Config {
 	}
 }
 
+// SolverJobError is run's panic payload when a job fails under a
+// non-default Solver override: experiment grids are known-feasible for
+// the heuristic by construction, but a user-selected backend can be
+// legitimately infeasible (the exact solver's module bound, a baseline
+// regrouping exceeding the ATE's wires), so the CLI recovers this type
+// into a clean one-line error instead of a stack trace.
+type SolverJobError struct {
+	Job    string
+	Solver string
+	Err    error
+}
+
+func (e *SolverJobError) Error() string {
+	return fmt.Sprintf("job %s under solver %q: %v", e.Job, e.Solver, e.Err)
+}
+
+func (e *SolverJobError) Unwrap() error { return e.Err }
+
 // run fans the jobs across the sweep engine and panics on the first
-// failed job: experiment grids are known-feasible by construction, so a
-// failure is a programming error, as it was for the old serial harness.
+// failed job. Under the default heuristic a failure is a programming
+// error (experiment grids are known-feasible by construction, as they
+// were for the old serial harness) and the panic is a plain string;
+// under a Solver override the panic carries a *SolverJobError for the
+// CLI to recover.
 func run(jobs []engine.Job) []engine.JobResult {
+	for i := range jobs {
+		if jobs[i].Solver == "" {
+			jobs[i].Solver = Solver
+		}
+	}
 	results, _ := engine.Run(context.Background(), jobs,
 		engine.Options{Workers: Workers, Memo: DesignMemo})
 	for i := range results {
 		if err := results[i].Err; err != nil {
+			if sv := results[i].Job.Solver; sv != "" && sv != solve.DefaultName {
+				panic(&SolverJobError{Job: results[i].Job.Name, Solver: sv, Err: err})
+			}
 			panic(fmt.Sprintf("experiments: job %s: %v", results[i].Job.Name, err))
 		}
 	}

@@ -12,6 +12,30 @@ import (
 // regenerates a paper artifact and asserts the paper's qualitative claim
 // about it (the "shape": who wins, monotonicity, crossovers).
 
+// TestRunSolverInfeasibilityPanicsTyped pins the contract cmd/experiments'
+// clean -solver error path rests on: a job failing under a non-default
+// Solver override panics with *SolverJobError (recoverable into a one-line
+// CLI error), while the default heuristic keeps the loud string panic for
+// genuine programming errors.
+func TestRunSolverInfeasibilityPanicsTyped(t *testing.T) {
+	old := Solver
+	Solver = "exact" // pnx8550's 274 testable modules exceed exact.MaxModules
+	defer func() {
+		Solver = old
+		p := recover()
+		je, ok := p.(*SolverJobError)
+		if !ok {
+			t.Fatalf("run panicked with %T (%v), want *SolverJobError", p, p)
+		}
+		if je.Solver != "exact" || je.Unwrap() == nil ||
+			!strings.Contains(je.Error(), "exceed the exact-search limit") {
+			t.Errorf("unexpected SolverJobError: %v", je)
+		}
+	}()
+	optimizeJob("pnx", benchdata.Shared("pnx8550"), PNXConfig(BaseChannels, BaseDepth, false))
+	t.Fatal("run did not panic on an infeasible solver override")
+}
+
 func TestFig5Shape(t *testing.T) {
 	fig := Fig5()
 	if len(fig.Series) != 3 {

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzCompareRequest smokes the /v1/compare request decoder with
+// adversarial bodies: whatever the bytes, decoding must not panic, and a
+// body the strict decoder accepts must yield a request whose derived
+// configuration and solver list are safe to process (expansion is
+// caller-bounded, never decoder-driven). The real handler adds the
+// registry validation and limits on top; this pins the decode layer the
+// CI fuzz-smoke step exercises.
+func FuzzCompareRequest(f *testing.F) {
+	f.Add(`{"soc":"d695","channels":256,"depth":"64K"}`)
+	f.Add(`{"soc":"d695","solvers":["heuristic","exact","baseline"]}`)
+	f.Add(`{"soc_text":"SocName x","solvers":[]}`)
+	f.Add(`{"solvers":["` + strings.Repeat("a", 1024) + `"]}`)
+	f.Add(`{"soc":"d695","depth":"1e308","clock_hz":-1}`)
+	f.Add(`{"soc":"d695","solvers":null}`)
+	f.Add(`[]`)
+	f.Add(`{"soc":"d695","solvers":["exact"],"channels":9223372036854775807}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		var req CompareRequest
+		dec := json.NewDecoder(strings.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return // malformed bodies simply fail the decode; nothing to check
+		}
+		// The derived configuration must always be constructible; the
+		// Size type already rejected NaN/overflow spellings at decode.
+		cfg := req.Config()
+		if cfg.ATE.Depth < 0 {
+			t.Errorf("decoded negative depth from %q", body)
+		}
+		// The solver list is used verbatim by the handler; make sure the
+		// decode cannot smuggle an unbounded expansion the way a size
+		// range string could (it is a plain array — its length is the
+		// body's length).
+		if len(req.Solvers) > len(body) {
+			t.Errorf("solver list longer than the body itself: %d", len(req.Solvers))
+		}
+	})
+}

@@ -4,13 +4,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/optimize — run the two-step algorithm for one scenario
+//	POST /v1/optimize — run one optimizer backend for one scenario
 //	                    (named or inline SOC); returns a core.Snapshot.
 //	POST /v1/sweep    — expand a scenario × axes grid and stream one
 //	                    NDJSON row per grid point, in deterministic order.
+//	POST /v1/compare  — run N optimizer backends on one scenario and
+//	                    return a side-by-side delta table.
+//	GET  /v1/solvers  — list the registered optimizer backends.
 //	GET  /v1/socs     — list the built-in benchmark SOCs.
 //	GET  /healthz     — liveness probe.
 //	GET  /metrics     — Prometheus-style request and cache counters.
+//
+// Every compute endpoint takes a "solver" field naming the registered
+// backend (internal/solve) that designs the Step 1 architecture; the
+// default is the paper's two-step heuristic. The solver name is a
+// dimension of both cache tiers' keys, so backends never alias.
 //
 // Results are cached at two tiers. engine.Memo (pointer-keyed, per
 // process) shares the expensive Step 1+2 designs across requests and
@@ -47,6 +55,7 @@ import (
 	"multisite/internal/engine"
 	"multisite/internal/resultcache"
 	"multisite/internal/soc"
+	"multisite/internal/solve"
 )
 
 // maxBodyBytes bounds request bodies; inline SOC descriptions are a few
@@ -55,6 +64,10 @@ const maxBodyBytes = 4 << 20
 
 // maxSweepScenarios bounds one sweep's grid expansion.
 const maxSweepScenarios = 4096
+
+// maxCompareSolvers bounds one comparison's backend list; the registry is
+// small, so anything beyond this is a malformed (or duplicated) request.
+const maxCompareSolvers = 16
 
 // maxMemoDesigns bounds the shared design memo: its keys include
 // client-controlled ATE fields, so a long-running server must cap the
@@ -90,7 +103,7 @@ type Server struct {
 	socHashes map[string]string
 	names     []string
 
-	requests map[string]*atomic.Int64 // endpoint -> count
+	requests  map[string]*atomic.Int64 // endpoint -> count
 	sweepRows atomic.Int64
 	inflight  atomic.Int64
 }
@@ -115,7 +128,7 @@ func New(opts Options) *Server {
 		s.socs[name] = chip
 		s.socHashes[name] = chip.Hash()
 	}
-	for _, ep := range []string{"optimize", "sweep", "socs", "healthz", "metrics"} {
+	for _, ep := range []string{"optimize", "sweep", "compare", "solvers", "socs", "healthz", "metrics"} {
 		s.requests[ep] = &atomic.Int64{}
 	}
 	return s
@@ -126,6 +139,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	mux.HandleFunc("GET /v1/socs", s.handleSOCs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -193,12 +208,24 @@ func (s *Server) resolveSOC(req *ScenarioRequest) (*scenarioEnv, int, error) {
 	}
 }
 
+// resolveSolver validates a request's solver name against the registry
+// and returns its canonical name (the spelling cache keys and memo keys
+// use), or an HTTP-status-carrying error listing the valid names.
+func resolveSolver(name string) (string, int, error) {
+	sv, err := solve.Get(name)
+	if err != nil {
+		return "", http.StatusBadRequest, err
+	}
+	return sv.Name(), 0, nil
+}
+
 // computeSnapshot produces the serialized optimization snapshot for one
-// scenario, through both cache tiers: resultcache bytes first, then the
-// memoized design re-scored under the scenario's cost model. The compute
-// slot is held only while actually optimizing — never while waiting on a
-// cache entry another request is computing.
-func (s *Server) computeSnapshot(ctx context.Context, env *scenarioEnv, cfg core.Config) ([]byte, bool, error) {
+// scenario under the named backend (a canonical solver name from
+// resolveSolver), through both cache tiers: resultcache bytes first, then
+// the memoized design re-scored under the scenario's cost model. The
+// compute slot is held only while actually optimizing — never while
+// waiting on a cache entry another request is computing.
+func (s *Server) computeSnapshot(ctx context.Context, env *scenarioEnv, solver string, cfg core.Config) ([]byte, bool, error) {
 	cfg = cfg.Normalized()
 	if err := cfg.ATE.Validate(); err != nil {
 		return nil, false, err
@@ -206,13 +233,13 @@ func (s *Server) computeSnapshot(ctx context.Context, env *scenarioEnv, cfg core
 	if err := cfg.Probe.Validate(); err != nil {
 		return nil, false, err
 	}
-	key := cacheKey(env.hash, cfg)
+	key := cacheKey(env.hash, solver, cfg)
 	return s.cache.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
 		if err := s.acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.release()
-		design, err := env.memo.DesignCtx(ctx, env.soc, cfg)
+		design, err := env.memo.DesignSolverCtx(ctx, solver, env.soc, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -236,9 +263,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	solver, status, err := resolveSolver(req.Solver)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	data, cached, err := s.computeSnapshot(ctx, env, req.Config())
+	data, cached, err := s.computeSnapshot(ctx, env, solver, req.Config())
 	if err != nil {
 		writeError(w, computeStatus(err), err)
 		return
@@ -255,6 +287,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	env, status, err := s.resolveSOC(&req.ScenarioRequest)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	solver, status, err := resolveSolver(req.Solver)
 	if err != nil {
 		writeError(w, status, err)
 		return
@@ -307,7 +344,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		// deliver must run even if the row computation panics — a gap at
 		// index i would silently drop every later row from the stream.
 		defer deliver(i)
-		rows[i] = s.rowBytes(ctx, env, i, jobs[i])
+		rows[i] = s.rowBytes(ctx, env, solver, i, jobs[i])
 		return struct{}{}, nil
 	})
 	// A cancelled context (client gone, timeout) simply truncates the
@@ -318,7 +355,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // points shared with earlier optimize calls (or earlier sweeps) are
 // served from bytes, and this sweep's points warm the point-query path.
 // A panicking compute becomes an error row, never a hole in the stream.
-func (s *Server) rowBytes(ctx context.Context, env *scenarioEnv, i int, job engine.Job) (out []byte) {
+func (s *Server) rowBytes(ctx context.Context, env *scenarioEnv, solver string, i int, job engine.Job) (out []byte) {
 	defer func() {
 		if p := recover(); p != nil {
 			out, _ = json.Marshal(SweepRow{Index: i, Name: job.Name,
@@ -326,7 +363,7 @@ func (s *Server) rowBytes(ctx context.Context, env *scenarioEnv, i int, job engi
 		}
 	}()
 	row := func() SweepRow {
-		data, _, err := s.computeSnapshot(ctx, env, job.Config)
+		data, _, err := s.computeSnapshot(ctx, env, solver, job.Config)
 		if err != nil {
 			return SweepRow{Index: i, Name: job.Name, Error: err.Error()}
 		}
@@ -341,6 +378,178 @@ func (s *Server) rowBytes(ctx context.Context, env *scenarioEnv, i int, job engi
 		data, _ = json.Marshal(SweepRow{Index: i, Name: job.Name, Error: err.Error()})
 	}
 	return data
+}
+
+// handleSolvers lists the registered optimizer backends — the menu the
+// solver fields of /v1/optimize, /v1/sweep, and /v1/compare accept.
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	s.requests["solvers"].Add(1)
+	infos := solve.Infos()
+	out := make([]SolverEntry, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, SolverEntry{Info: info, Default: info.Name == solve.DefaultName})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Default string        `json:"default"`
+		Solvers []SolverEntry `json:"solvers"`
+	}{solve.DefaultName, out})
+}
+
+// handleCompare runs one scenario through N optimizer backends and
+// returns a side-by-side delta table — the paper's Table 3-style
+// heuristic-vs-exact-vs-baseline comparison as a single API call. Each
+// backend's snapshot goes through the same two cache tiers as
+// /v1/optimize (the solver is a cache-key dimension), so a comparison
+// warms the point-query path per backend and vice versa; backends run
+// concurrently on the engine pool, and one infeasible backend (the exact
+// solver on a too-large SOC) becomes an error row, not a failed request.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	s.requests["compare"].Add(1)
+	var req CompareRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Solver != "" {
+		writeError(w, http.StatusBadRequest,
+			errors.New("use solvers (a list) to choose comparison backends, not solver"))
+		return
+	}
+	names := req.Solvers
+	if len(names) == 0 {
+		names = solve.Names()
+	}
+	if len(names) > maxCompareSolvers {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("comparing %d solvers; the limit is %d", len(names), maxCompareSolvers))
+		return
+	}
+	if len(names) < 2 {
+		writeError(w, http.StatusBadRequest,
+			errors.New("a comparison needs at least two solvers"))
+		return
+	}
+	solvers := make([]string, len(names))
+	seen := make(map[string]bool, len(names))
+	for i, name := range names {
+		canonical, status, err := resolveSolver(name)
+		if err != nil {
+			writeError(w, status, err)
+			return
+		}
+		if seen[canonical] {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("duplicate solver %q", canonical))
+			return
+		}
+		seen[canonical] = true
+		solvers[i] = canonical
+	}
+	env, status, err := s.resolveSOC(&req.ScenarioRequest)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	cfg := req.Config()
+	rows := make([]CompareRow, len(solvers))
+	_, _ = engine.Map(ctx, len(solvers), s.opts.Workers, func(ctx context.Context, i int) (struct{}, error) {
+		rows[i] = s.compareRow(ctx, env, solvers[i], cfg)
+		return struct{}{}, nil
+	})
+	if err := ctx.Err(); err != nil {
+		// The whole comparison shares one deadline; a partial table would
+		// silently misreport the slow backends.
+		writeError(w, computeStatus(err), err)
+		return
+	}
+
+	resp := CompareResponse{SOC: env.soc.Name, SOCHash: env.hash, Rows: rows}
+	resp.Reference = referenceRow(rows)
+	applyDeltas(&resp)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// compareRow computes one backend's comparison row through the result
+// cache. A panicking compute becomes an error row.
+func (s *Server) compareRow(ctx context.Context, env *scenarioEnv, solver string, cfg core.Config) (row CompareRow) {
+	row = CompareRow{Solver: solver}
+	defer func() {
+		if p := recover(); p != nil {
+			row = CompareRow{Solver: solver, Error: fmt.Sprintf("internal: %v", p)}
+		}
+	}()
+	data, _, err := s.computeSnapshot(ctx, env, solver, cfg)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	var view snapshotView
+	if err := json.Unmarshal(data, &view); err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	row.Wires = view.Channels / 2
+	row.Channels = view.Channels
+	row.MaxSites = view.MaxSites
+	row.Sites = view.Best.Sites
+	row.TestCycles = view.Best.TestCycles
+	row.TestTimeSec = view.Best.TestTimeSec
+	row.Throughput = view.Best.Throughput
+	row.UniqueThroughput = view.Best.UniqueThroughput
+	row.GainOverStep1 = view.Gain
+	return row
+}
+
+// referenceRow picks the solver the delta columns are measured against:
+// the default heuristic when it succeeded, else the first successful row.
+func referenceRow(rows []CompareRow) string {
+	first := ""
+	for _, r := range rows {
+		if r.Error != "" {
+			continue
+		}
+		if r.Solver == solve.DefaultName {
+			return r.Solver
+		}
+		if first == "" {
+			first = r.Solver
+		}
+	}
+	return first
+}
+
+// applyDeltas fills the delta columns of every successful non-reference
+// row, relative to the reference row.
+func applyDeltas(resp *CompareResponse) {
+	var ref *CompareRow
+	for i := range resp.Rows {
+		if resp.Rows[i].Solver == resp.Reference {
+			ref = &resp.Rows[i]
+			break
+		}
+	}
+	if ref == nil {
+		return
+	}
+	for i := range resp.Rows {
+		row := &resp.Rows[i]
+		if row.Error != "" || row.Solver == resp.Reference {
+			continue
+		}
+		dw := row.Wires - ref.Wires
+		ds := row.Sites - ref.Sites
+		row.DeltaWires = &dw
+		row.DeltaSites = &ds
+		if ref.Throughput > 0 {
+			dt := 100 * (row.Throughput/ref.Throughput - 1)
+			row.DeltaThroughputPct = &dt
+		}
+		dg := row.GainOverStep1 - ref.GainOverStep1
+		row.DeltaGain = &dg
+	}
 }
 
 func (s *Server) handleSOCs(w http.ResponseWriter, r *http.Request) {

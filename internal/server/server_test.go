@@ -17,6 +17,7 @@ import (
 	"multisite/internal/benchdata"
 	"multisite/internal/core"
 	"multisite/internal/soc"
+	"multisite/internal/solve"
 )
 
 var update = flag.Bool("update", false, "rewrite golden HTTP outputs")
@@ -238,6 +239,202 @@ func TestSOCsEndpoint(t *testing.T) {
 		if info.Modules == 0 || info.Testable == 0 || info.TotalTestBits == 0 {
 			t.Errorf("%s has zero-valued summary: %+v", info.Name, info)
 		}
+	}
+}
+
+// TestSolversEndpointGolden pins the GET /v1/solvers listing and checks
+// it mirrors the registry.
+func TestSolversEndpointGolden(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, data := get(t, ts, "/v1/solvers")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	checkGolden(t, "solvers.golden", data)
+
+	var out struct {
+		Default string        `json:"default"`
+		Solvers []SolverEntry `json:"solvers"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Default != solve.DefaultName {
+		t.Errorf("default = %q, want %q", out.Default, solve.DefaultName)
+	}
+	names := solve.Names()
+	if len(out.Solvers) != len(names) {
+		t.Fatalf("%d solvers, want %d", len(out.Solvers), len(names))
+	}
+	for i, entry := range out.Solvers {
+		if entry.Name != names[i] {
+			t.Errorf("solver %d = %s, want %s (sorted order)", i, entry.Name, names[i])
+		}
+		if entry.Default != (entry.Name == solve.DefaultName) {
+			t.Errorf("solver %s default flag = %v", entry.Name, entry.Default)
+		}
+	}
+}
+
+// TestCompareE2EGolden pins the /v1/compare delta table for d695 across
+// every registered backend, and cross-checks the heuristic row against a
+// direct core.Optimize run.
+func TestCompareE2EGolden(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	resp, data := post(t, ts, "/v1/compare", optimizeD695)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	checkGolden(t, "compare_d695.golden", data)
+
+	var out CompareResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Reference != solve.DefaultName {
+		t.Errorf("reference = %q, want the default heuristic", out.Reference)
+	}
+	if len(out.Rows) != len(solve.Names()) {
+		t.Fatalf("%d rows, want %d (every registered backend)", len(out.Rows), len(solve.Names()))
+	}
+	direct, err := core.Optimize(benchdata.Shared("d695"), core.Config{
+		ATE:   ate.ATE{Channels: 256, Depth: 64 << 10, ClockHz: 5e6},
+		Probe: ate.DefaultProbeStation(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exactWires int
+	for _, row := range out.Rows {
+		if row.Error != "" {
+			t.Errorf("row %s failed: %s", row.Solver, row.Error)
+			continue
+		}
+		switch row.Solver {
+		case solve.DefaultName:
+			if row.Throughput != direct.Best.Throughput || row.Channels != direct.Step1.Channels() {
+				t.Errorf("heuristic row %+v disagrees with direct optimize best %+v", row, direct.Best)
+			}
+			if row.DeltaWires != nil {
+				t.Errorf("reference row carries deltas: %+v", row)
+			}
+		case "exact":
+			exactWires = row.Wires
+			if row.DeltaWires == nil || row.DeltaSites == nil {
+				t.Errorf("non-reference row %s missing deltas", row.Solver)
+			}
+		}
+	}
+	// The heuristic can never use fewer wires than the proven optimum.
+	if exactWires > 0 && direct.Step1.Wires() < exactWires {
+		t.Errorf("heuristic wires %d beat the exact optimum %d", direct.Step1.Wires(), exactWires)
+	}
+	// Each backend computed exactly once, through the shared result cache.
+	if st := srv.CacheStats(); st.Misses != int64(len(out.Rows)) {
+		t.Errorf("computes = %d, want %d (one per backend)", st.Misses, len(out.Rows))
+	}
+}
+
+// TestOptimizeSolverNoCacheAlias is the serving-layer regression test for
+// the cache-key solver dimension: the same scenario under two backends
+// must produce two cache entries (two computes, no hit on the second) and
+// responses that differ where the algorithms differ.
+func TestOptimizeSolverNoCacheAlias(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	resp, heur := post(t, ts, "/v1/optimize", optimizeD695)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heuristic status %d: %s", resp.StatusCode, heur)
+	}
+	resp, ex := post(t, ts, "/v1/optimize",
+		`{"soc":"d695","channels":256,"depth":"64K","clock_hz":5e6,"solver":"exact"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact status %d: %s", resp.StatusCode, ex)
+	}
+	if resp.Header.Get("X-Cache") != "miss" {
+		t.Error("exact request aliased to the heuristic's cache entry")
+	}
+	if bytes.Equal(heur, ex) {
+		t.Error("exact and heuristic responses are byte-identical; solver dimension lost")
+	}
+	if st := srv.CacheStats(); st.Misses != 2 {
+		t.Errorf("computes = %d, want 2 (one per solver)", st.Misses)
+	}
+	// Spelling the default out loud shares the default's entry.
+	resp, again := post(t, ts, "/v1/optimize",
+		`{"soc":"d695","channels":256,"depth":"64K","clock_hz":5e6,"solver":"heuristic"}`)
+	if resp.Header.Get("X-Cache") != "hit" || !bytes.Equal(heur, again) {
+		t.Error(`"solver":"heuristic" did not share the default entry`)
+	}
+	// And the keys themselves are distinct (the unit-level guarantee).
+	cfg := core.Config{ATE: ate.ATE{Channels: 256, Depth: 64 << 10, ClockHz: 5e6},
+		Probe: ate.DefaultProbeStation()}
+	hash := benchdata.Shared("d695").Hash()
+	if cacheKey(hash, "heuristic", cfg) == cacheKey(hash, "exact", cfg) {
+		t.Error("cacheKey ignores the solver name")
+	}
+}
+
+// TestSolverErrorStatuses covers the solver-field failure modes of every
+// compute endpoint.
+func TestSolverErrorStatuses(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		path, body string
+		status     int
+		want       string
+	}{
+		{"/v1/optimize", `{"soc":"d695","solver":"simplex"}`, http.StatusBadRequest, "valid: baseline, exact, heuristic"},
+		{"/v1/sweep", `{"soc":"d695","solver":"simplex","depths":"48K,64K"}`, http.StatusBadRequest, "valid:"},
+		{"/v1/compare", `{"soc":"d695","solvers":["heuristic","simplex"]}`, http.StatusBadRequest, "valid:"},
+		{"/v1/compare", `{"soc":"d695","solvers":["exact","exact"]}`, http.StatusBadRequest, "duplicate"},
+		{"/v1/compare", `{"soc":"d695","solvers":["exact"]}`, http.StatusBadRequest, "at least two"},
+		{"/v1/compare", `{"soc":"d695","solver":"exact"}`, http.StatusBadRequest, "solvers"},
+		{"/v1/compare", `{"soc":"nope"}`, http.StatusNotFound, "unknown soc"},
+	}
+	for _, c := range cases {
+		resp, data := post(t, ts, c.path, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s %s: status %d, want %d (%s)", c.path, c.body, resp.StatusCode, c.status, data)
+			continue
+		}
+		var e errorResponse
+		if err := json.Unmarshal(data, &e); err != nil || !strings.Contains(e.Error, c.want) {
+			t.Errorf("%s %s: error %q does not mention %q", c.path, c.body, e.Error, c.want)
+		}
+	}
+}
+
+// TestCompareInfeasibleBackendIsRow checks a backend that cannot handle
+// the scenario shows up as an error row, not a failed comparison: the
+// exact solver refuses SOCs beyond its module bound while the others
+// proceed.
+func TestCompareInfeasibleBackendIsRow(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, data := post(t, ts, "/v1/compare", `{"soc":"p93791","channels":512,"depth":"2M","clock_hz":5e6}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out CompareResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	var sawExactError, sawHeuristicRow bool
+	for _, row := range out.Rows {
+		switch row.Solver {
+		case "exact":
+			sawExactError = row.Error != "" && strings.Contains(row.Error, "exceed")
+		case solve.DefaultName:
+			sawHeuristicRow = row.Error == "" && row.Throughput > 0
+		}
+	}
+	if !sawExactError {
+		t.Errorf("exact row should report the module bound: %s", data)
+	}
+	if !sawHeuristicRow {
+		t.Errorf("heuristic row should succeed: %s", data)
+	}
+	if out.Reference != solve.DefaultName {
+		t.Errorf("reference = %q, want %q", out.Reference, solve.DefaultName)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"multisite/internal/core"
 	"multisite/internal/engine"
 	"multisite/internal/soc"
+	"multisite/internal/solve"
 	"multisite/internal/tam"
 )
 
@@ -24,6 +25,10 @@ import (
 type ScenarioRequest struct {
 	SOC     string `json:"soc,omitempty"`
 	SOCText string `json:"soc_text,omitempty"`
+
+	// Solver names the optimizer backend (see GET /v1/solvers); empty
+	// means the default two-step heuristic.
+	Solver string `json:"solver,omitempty"`
 
 	Channels  int      `json:"channels,omitempty"`
 	Depth     cli.Size `json:"depth,omitempty"`
@@ -108,6 +113,7 @@ func (r *SweepRequest) Grid(s *soc.SOC) engine.Grid {
 	base := r.Config()
 	g := engine.Grid{
 		SOCs:          []*soc.SOC{s},
+		Solvers:       []string{r.Solver},
 		Channels:      r.ChannelsList,
 		Depths:        r.Depths,
 		ClockHz:       base.ATE.ClockHz,
@@ -171,6 +177,9 @@ type SweepRow struct {
 // decoding into it skips allocating the curves and architecture texts,
 // which dominate a snapshot's size.
 type snapshotView struct {
+	// Channels is the Step 1 architecture's channel count (2·wires),
+	// which the compare rows report alongside the best operating point.
+	Channels int           `json:"channels"`
 	MaxSites int           `json:"max_sites"`
 	Best     core.SiteEval `json:"best"`
 	Gain     float64       `json:"gain_over_step1"`
@@ -192,6 +201,65 @@ func rowFromSnapshot(index int, name string, snap *snapshotView) SweepRow {
 	}
 }
 
+// CompareRequest is the JSON body of POST /v1/compare: one scenario plus
+// the optimizer backends to run it through. Empty Solvers means every
+// registered backend. The response is a side-by-side delta table — the
+// paper's Table 3-style baseline-vs-exact-vs-heuristic comparison as a
+// single API call.
+type CompareRequest struct {
+	ScenarioRequest
+
+	// Solvers lists the backends to compare, in response-row order;
+	// duplicates are rejected. The per-scenario Solver field must be
+	// unset — the comparison owns backend selection.
+	Solvers []string `json:"solvers,omitempty"`
+}
+
+// CompareRow is one backend's outcome in a /v1/compare response. Exactly
+// one of Error or the evaluation fields is meaningful. Delta fields are
+// present (even when zero) on every successful row except the reference
+// row they are measured against.
+type CompareRow struct {
+	Solver string `json:"solver"`
+
+	Wires            int     `json:"wires,omitempty"`
+	Channels         int     `json:"channels,omitempty"`
+	MaxSites         int     `json:"max_sites,omitempty"`
+	Sites            int     `json:"sites,omitempty"`
+	TestCycles       int64   `json:"test_cycles,omitempty"`
+	TestTimeSec      float64 `json:"test_time_sec,omitempty"`
+	Throughput       float64 `json:"throughput,omitempty"`
+	UniqueThroughput float64 `json:"unique_throughput,omitempty"`
+	GainOverStep1    float64 `json:"gain_over_step1,omitempty"`
+
+	// Deltas are measured against the reference row: wires and sites as
+	// differences, throughput as a percentage of the reference's.
+	DeltaWires         *int     `json:"delta_wires,omitempty"`
+	DeltaSites         *int     `json:"delta_sites,omitempty"`
+	DeltaThroughputPct *float64 `json:"delta_throughput_pct,omitempty"`
+	DeltaGain          *float64 `json:"delta_gain_over_step1,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// CompareResponse is the body of POST /v1/compare.
+type CompareResponse struct {
+	SOC     string `json:"soc"`
+	SOCHash string `json:"soc_hash"`
+	// Reference names the solver the delta columns are measured against:
+	// the default heuristic when it is among the successful rows,
+	// otherwise the first successful row.
+	Reference string       `json:"reference,omitempty"`
+	Rows      []CompareRow `json:"rows"`
+}
+
+// SolverEntry is one row of the GET /v1/solvers listing.
+type SolverEntry struct {
+	solve.Info
+	// Default marks the backend used when a request names no solver.
+	Default bool `json:"default,omitempty"`
+}
+
 // SOCInfo is one entry of the GET /v1/socs listing.
 type SOCInfo struct {
 	Name          string `json:"name"`
@@ -207,15 +275,21 @@ type errorResponse struct {
 }
 
 // cacheKey derives the content-addressed cache key of one scenario: a
-// SHA-256 over the canonical SOC hash and every configuration field that
-// affects the response, rendered in a fixed order with exact float
-// formatting. Two requests produce one key iff they describe the same
-// computation — a client uploading d695 inline shares entries with
-// requests naming the built-in benchmark.
-func cacheKey(socHash string, cfg core.Config) string {
+// SHA-256 over the canonical SOC hash, the canonical solver name, and
+// every configuration field that affects the response, rendered in a
+// fixed order with exact float formatting. Two requests produce one key
+// iff they describe the same computation — a client uploading d695 inline
+// shares entries with requests naming the built-in benchmark, while two
+// backends' responses for one scenario never alias (solver is a key
+// dimension; see TestOptimizeSolverNoCacheAlias). Callers pass the
+// solver's canonical name (solve.Solver.Name), never the request's
+// spelling, so "" and "heuristic" address one entry.
+func cacheKey(socHash, solver string, cfg core.Config) string {
 	var b strings.Builder
 	b.WriteString("optimize/v1|soc=")
 	b.WriteString(socHash)
+	b.WriteString("|solver=")
+	b.WriteString(solver)
 	fmt.Fprintf(&b, "|N=%d|D=%d|clk=%s|bc=%t",
 		cfg.ATE.Channels, cfg.ATE.Depth, fmtFloat(cfg.ATE.ClockHz), cfg.ATE.Broadcast)
 	fmt.Fprintf(&b, "|ti=%s|tc=%s", fmtFloat(cfg.Probe.IndexTime), fmtFloat(cfg.Probe.ContactTime))

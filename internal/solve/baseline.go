@@ -1,0 +1,95 @@
+package solve
+
+import (
+	"context"
+	"fmt"
+
+	"multisite/internal/baseline"
+	"multisite/internal/core"
+	"multisite/internal/soc"
+	"multisite/internal/tam"
+	"multisite/internal/wrapper"
+)
+
+func init() { Register(baselineSolver{}) }
+
+// baselineSolver is the comparison method of reference [7]: rectangle
+// bin-packing of module tests into the vector memory (internal/baseline),
+// served through the channel-group model the rest of the system speaks.
+//
+// A packing is a 2D schedule — modules may reuse the same wires at
+// different cycles with different widths — which the serial channel-group
+// model cannot express directly. The backend therefore realizes the
+// packing in two stages: the skyline packer picks the bin width and each
+// module's rectangle width (exactly [7]'s decisions), then the rectangles
+// are regrouped into serial test buses first-fit in packing order, each
+// module joining the group where its refit test time adds the least fill
+// (the paper's smallest-added-depth rule) and opening a group at its
+// packed width otherwise. The realized wire count is therefore >= the raw
+// packing bound of [7] — Table 1 keeps reporting the raw bound via
+// internal/baseline directly; this backend reports what the packing costs
+// once it must run on real channel groups. DESIGN.md §9 discusses the
+// gap.
+type baselineSolver struct{}
+
+func (baselineSolver) Name() string { return "baseline" }
+
+func (baselineSolver) Info() Info {
+	return Info{
+		Name:        "baseline",
+		Description: "rectangle bin-packing of [7] (skyline best-fit), regrouped onto serial channel groups, then the shared Step 2",
+		Complexity:  "per bin width: O(m x pareto widths x wires) skyline scan",
+	}
+}
+
+func (baselineSolver) Solve(ctx context.Context, s *soc.SOC, cfg core.Config) (*core.Result, error) {
+	pk, err := baseline.DesignCtx(ctx, s, cfg.ATE)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := regroup(s, pk, cfg.ATE.Depth, cfg.ATE.Channels/2)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildResult(ctx, s, cfg, arch)
+}
+
+// regroup realizes a rectangle packing as a serial channel-group
+// architecture: placements are visited in packing order (decreasing
+// minimum area — deterministic), each joining the existing group where
+// its test time at the group's width adds the least fill while staying
+// within depth, or opening a new group at its packed rectangle width.
+// Errors when the realization needs more wires than the ATE offers.
+func regroup(s *soc.SOC, pk *baseline.Packing, depth int64, maxWires int) (*tam.Architecture, error) {
+	d := wrapper.For(s)
+	arch := &tam.Architecture{SOC: s, Designer: d, Depth: depth}
+	wires := 0
+	for _, pl := range pk.Placements {
+		best, bestTime := -1, int64(0)
+		for gi, g := range arch.Groups {
+			t := d.Time(pl.Module, g.Width)
+			if g.Fill+t > depth {
+				continue
+			}
+			if best < 0 || t < bestTime {
+				best, bestTime = gi, t
+			}
+		}
+		if best < 0 {
+			// The packing placed this rectangle within depth, so a fresh
+			// group at its packed width always fits.
+			arch.Groups = append(arch.Groups, &tam.Group{Width: pl.Width})
+			wires += pl.Width
+			best, bestTime = len(arch.Groups)-1, d.Time(pl.Module, pl.Width)
+		}
+		g := arch.Groups[best]
+		g.Members = append(g.Members, pl.Module)
+		g.Times = append(g.Times, bestTime)
+		g.Fill += bestTime
+	}
+	if wires > maxWires {
+		return nil, fmt.Errorf("baseline: serial regrouping of soc %s needs %d wires; ATE offers %d",
+			s.Name, wires, maxWires)
+	}
+	return arch, nil
+}

@@ -1,0 +1,51 @@
+package solve_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"multisite/internal/ate"
+	"multisite/internal/benchdata"
+	"multisite/internal/core"
+	"multisite/internal/solve"
+)
+
+// ExampleGet looks a backend up by name and reads its self-description —
+// the same metadata GET /v1/solvers serves.
+func ExampleGet() {
+	sv, err := solve.Get("exact")
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := sv.Info()
+	fmt.Printf("%s: exact=%v, bound=%d modules\n", info.Name, info.Exact, info.MaxModules)
+
+	_, err = solve.Get("simplex")
+	fmt.Println(err)
+	// Output:
+	// exact: exact=true, bound=12 modules
+	// solve: unknown solver "simplex" (valid: baseline, exact, heuristic)
+}
+
+// ExampleSolve runs one scenario through two backends and compares their
+// Step 1 channel counts — the optimality-gap measurement as three lines
+// of code.
+func ExampleSolve() {
+	s := benchdata.Shared("d695")
+	cfg := core.Config{
+		ATE:   ate.ATE{Channels: 256, Depth: 64 * benchdata.Ki, ClockHz: 5e6},
+		Probe: ate.DefaultProbeStation(),
+	}
+	for _, name := range []string{"heuristic", "exact"} {
+		res, err := solve.Solve(context.Background(), name, s, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s k=%d, nmax=%d, best n=%d\n",
+			name, res.Step1.Channels(), res.MaxSites, res.Best.Sites)
+	}
+	// Output:
+	// heuristic k=22, nmax=11, best n=11
+	// exact     k=22, nmax=11, best n=11
+}
