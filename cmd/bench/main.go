@@ -1,14 +1,27 @@
 // Command bench runs the repository benchmark suite with -benchmem and
 // records the results as a machine-readable BENCH_<date>.json (name,
 // ns/op, B/op, allocs/op per benchmark), so the performance trajectory is
-// captured run over run. CI invokes it as the bench-smoke step (one
+// captured run over run. The record lands at the module root by default,
+// where the committed baseline lives — the perf-regression gate diffs a
+// fresh run against it. CI invokes it twice: the bench-smoke step (one
 // iteration per benchmark: every benchmark stays compiling and runnable,
-// and each push leaves a trajectory point as a build artifact); locally,
-// a real measurement is one flag away:
+// and each push leaves a trajectory point as a build artifact) and the
+// bench-gate step (-compare against the committed baseline, failing on
+// >20% regression in the pinned hot-path set); locally, a real
+// measurement is one flag away:
 //
 //	go run ./cmd/bench                      # smoke: -benchtime 1x
 //	go run ./cmd/bench -benchtime 10x       # real measurement
 //	go run ./cmd/bench -bench 'SimBit' -out sim.json
+//
+//	# diff a fresh run against the committed baseline, gate the hot path;
+//	# -count 3 keeps the best of three runs per benchmark, which is what
+//	# a 20% gate needs on noisy shared hardware
+//	go run ./cmd/bench -benchtime 10x -count 3 -compare BENCH_2026-08-08.json \
+//	    -gate 'OptimizePNX8550,SimBitD695,SweepEngine'
+//
+//	# diff two existing records without running anything
+//	go run ./cmd/bench -compare old.json -input new.json
 package main
 
 import (
@@ -17,44 +30,119 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"multisite/internal/benchjson"
 )
 
+// defaultGate is the pinned hot-path set the CI gate protects: the
+// optimizer hot path, the packed simulator, and the sweep engine. Each
+// entry matches benchmark names by substring (CPU suffixes normalized).
+const defaultGate = "OptimizePNX8550,SimBitD695,SweepEngine"
+
 func main() {
 	var (
 		bench     = flag.String("bench", ".", "benchmark selection regex (go test -bench)")
 		benchtime = flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
+		count     = flag.Int("count", 1, "runs per benchmark (go test -count); the diff keeps the best of N — noise only inflates wall time")
 		pkg       = flag.String("pkg", "./...", "packages to benchmark")
-		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json at the module root)")
 		quiet     = flag.Bool("quiet", false, "suppress the raw go test output")
+		compare   = flag.String("compare", "", "baseline BENCH_*.json to diff the new record against")
+		input     = flag.String("input", "", "with -compare: read the new record from this file instead of running benchmarks")
+		gate      = flag.String("gate", defaultGate, "with -compare: comma-separated pinned benchmark set; any >threshold regression exits nonzero (empty disables the gate)")
+		threshold = flag.Float64("threshold", benchjson.DefaultThreshold, "regression threshold as a fraction (0.20 = 20%)")
 	)
 	flag.Parse()
-	if err := run(*bench, *benchtime, *pkg, *out, *quiet); err != nil {
+	if err := run(options{
+		bench: *bench, benchtime: *benchtime, count: *count, pkg: *pkg, out: *out, quiet: *quiet,
+		compare: *compare, input: *input, gate: *gate, threshold: *threshold,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime, pkg, out string, quiet bool) error {
-	report := benchjson.NewReport(time.Now())
-	if out == "" {
-		out = "BENCH_" + report.Date + ".json"
+type options struct {
+	bench, benchtime, pkg, out string
+	count                      int
+	quiet                      bool
+	compare, input, gate       string
+	threshold                  float64
+}
+
+func run(o options) error {
+	if o.input != "" && o.compare == "" {
+		return fmt.Errorf("-input only makes sense with -compare")
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
-		"-benchmem", "-benchtime", benchtime, pkg)
+	var report *benchjson.Report
+	var err error
+	if o.input != "" {
+		if report, err = readReport(o.input); err != nil {
+			return err
+		}
+	} else {
+		if report, err = measure(o); err != nil {
+			return err
+		}
+	}
+
+	if o.compare == "" {
+		return nil
+	}
+	baseline, err := readReport(o.compare)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	diff := benchjson.DiffReports(baseline, report, o.threshold)
+	fmt.Fprintf(os.Stderr, "bench: diff vs %s (baseline %s, threshold %.0f%%)\n",
+		o.compare, baseline.Date, 100*diff.Threshold)
+	if err := diff.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	if o.gate == "" {
+		return nil
+	}
+	var pinned []string
+	for _, p := range strings.Split(o.gate, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			pinned = append(pinned, p)
+		}
+	}
+	if err := diff.Gate(pinned); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: gate ok (%s)\n", strings.Join(pinned, ", "))
+	return nil
+}
+
+// measure runs the benchmark suite and writes the parsed record.
+func measure(o options) (*benchjson.Report, error) {
+	report := benchjson.NewReport(time.Now())
+	out := o.out
+	if out == "" {
+		out = filepath.Join(moduleRoot(), "BENCH_"+report.Date+".json")
+	}
+
+	count := o.count
+	if count < 1 {
+		count = 1
+	}
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", o.bench,
+		"-benchmem", "-benchtime", o.benchtime, "-count", fmt.Sprint(count), o.pkg)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		return err
+		return nil, err
 	}
 	var tee io.Reader = stdout
-	if !quiet {
+	if !o.quiet {
 		tee = io.TeeReader(stdout, os.Stdout)
 	}
 	parseErr := report.Parse(tee)
@@ -64,26 +152,51 @@ func run(bench, benchtime, pkg, out string, quiet bool) error {
 		io.Copy(io.Discard, stdout)
 	}
 	if err := cmd.Wait(); err != nil {
-		return fmt.Errorf("go test: %w", err)
+		return nil, fmt.Errorf("go test: %w", err)
 	}
 	if parseErr != nil {
-		return parseErr
+		return nil, parseErr
 	}
 	if err := report.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 
 	f, err := os.Create(out)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := report.WriteJSON(f); err != nil {
 		f.Close()
-		return err
+		return nil, err
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "bench: %d benchmarks -> %s\n", len(report.Benchmarks), out)
-	return nil
+	return report, nil
+}
+
+func readReport(path string) (*benchjson.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := benchjson.ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// moduleRoot locates the directory of go.mod (where the committed
+// baseline record lives), falling back to the working directory when not
+// inside a module.
+func moduleRoot() string {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	gomod := strings.TrimSpace(string(out))
+	if err != nil || gomod == "" || gomod == os.DevNull {
+		return "."
+	}
+	return filepath.Dir(gomod)
 }

@@ -1,0 +1,163 @@
+// Command loadgen replays a deterministic mixed-traffic schedule against
+// a running cmd/serve and reports per-class latency percentiles,
+// responses/sec, and the server's cache hit rate — the measured side of
+// the repository's serving-layer performance story.
+//
+// The schedule is fully materialized from (seed, rate, duration, mix)
+// before the first request is sent: the same seed always replays the
+// same requests byte-for-byte, so two runs differ only in what the
+// server did with them. Traffic mixes hot cached optimizes, cold
+// inline-SOC uploads, streaming sweeps, and /v1/compare calls (see
+// internal/loadgen for the class definitions).
+//
+//	serve -addr :8080 &
+//	loadgen -url http://localhost:8080 -rate 50 -duration 10s
+//	loadgen -url http://localhost:8080 -rate 200 -duration 30s \
+//	    -mix hot=0.7,cold=0.1,sweep=0.1,compare=0.1 -seed 7
+//	loadgen -url http://localhost:8080 -dump-schedule   # inspect, don't run
+//
+// Alongside the human table, the run lands as a machine-readable
+// LOADGEN_<date>.json next to cmd/bench's BENCH_<date>.json (-out
+// overrides), so the serving-layer trajectory is captured the same way
+// the benchmark trajectory is.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"multisite/internal/loadgen"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "base URL of the cmd/serve instance")
+		rate     = flag.Float64("rate", 50, "arrival rate, requests per second")
+		duration = flag.Duration("duration", 10*time.Second, "schedule span")
+		seed     = flag.Int64("seed", 1, "schedule seed (same seed, same request bytes)")
+		mixFlag  = flag.String("mix", "", "traffic mix as class=weight pairs, e.g. hot=0.55,cold=0.2,sweep=0.1,compare=0.15 (empty = default mix)")
+		socs     = flag.String("socs", "", "comma-separated benchmark SOCs for the hot pool (empty = d695)")
+		inflight = flag.Int("max-inflight", 0, "bound on concurrently outstanding requests (0 = 64)")
+		out      = flag.String("out", "", "JSON record path (default LOADGEN_<date>.json at the module root; \"-\" disables)")
+		noScrape = flag.Bool("no-scrape", false, "skip the /metrics scrape (non-multisite servers)")
+		dump     = flag.Bool("dump-schedule", false, "print the materialized schedule JSON and exit without sending traffic")
+	)
+	flag.Parse()
+	if err := run(*url, *rate, *duration, *seed, *mixFlag, *socs, *inflight, *out, *noScrape, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url string, rate float64, duration time.Duration, seed int64, mixFlag, socs string, inflight int, out string, noScrape, dump bool) error {
+	mix, err := parseMix(mixFlag)
+	if err != nil {
+		return err
+	}
+	opts := loadgen.ScheduleOptions{Seed: seed, Rate: rate, Duration: duration, Mix: mix}
+	if socs != "" {
+		opts.SOCs = strings.Split(socs, ",")
+	}
+	sched, err := loadgen.BuildSchedule(opts)
+	if err != nil {
+		return err
+	}
+	if dump {
+		data, err := sched.Marshal()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+
+	// SIGINT mid-run reports the completed prefix instead of dying.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests at %.1f/s over %s against %s (seed %d)\n",
+		len(sched.Requests), rate, duration, url, seed)
+	res, runErr := loadgen.Run(ctx, sched, loadgen.RunOptions{
+		BaseURL: url, MaxInflight: inflight, NoScrape: noScrape,
+	})
+	if res == nil {
+		return runErr
+	}
+	if err := res.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	if out != "-" {
+		if out == "" {
+			out = filepath.Join(moduleRoot(), "LOADGEN_"+res.Date+".json")
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: record -> %s\n", out)
+	}
+	if runErr != nil {
+		return fmt.Errorf("run truncated: %w", runErr)
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", res.Errors, res.Total)
+	}
+	return nil
+}
+
+func parseMix(s string) (loadgen.Mix, error) {
+	var mix loadgen.Mix
+	if s == "" {
+		return mix, nil // zero value selects the default mix
+	}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return mix, fmt.Errorf("mix entry %q is not class=weight", pair)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return mix, fmt.Errorf("mix weight %q: %v", v, err)
+		}
+		switch loadgen.Class(k) {
+		case loadgen.ClassHot:
+			mix.Hot = w
+		case loadgen.ClassCold:
+			mix.Cold = w
+		case loadgen.ClassSweep:
+			mix.Sweep = w
+		case loadgen.ClassCompare:
+			mix.Compare = w
+		default:
+			return mix, fmt.Errorf("unknown traffic class %q (want hot, cold, sweep, compare)", k)
+		}
+	}
+	return mix, nil
+}
+
+// moduleRoot locates the go.mod directory, where the trajectory records
+// (BENCH_*.json, LOADGEN_*.json) live; falls back to the working
+// directory outside a module.
+func moduleRoot() string {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	gomod := strings.TrimSpace(string(out))
+	if err != nil || gomod == "" || gomod == os.DevNull {
+		return "."
+	}
+	return filepath.Dir(gomod)
+}

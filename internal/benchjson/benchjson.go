@@ -112,6 +112,23 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// ReadJSON reads back a report WriteJSON emitted (a BENCH_*.json
+// record). The decode is strict — an unknown field means the record was
+// not written by this package's current schema — and an empty benchmark
+// list is rejected just as Validate would.
+func ReadJSON(r io.Reader) (*Report, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchjson: decoding record: %w", err)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
 // Validate returns an error when the report holds no benchmarks — a
 // parse-drift guard for CI (an output format change must fail the step,
 // not silently record an empty trajectory point).

@@ -1,0 +1,275 @@
+package benchjson
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Status classifies one benchmark's trajectory between two reports.
+type Status string
+
+const (
+	// StatusRegressed: the new ns/op exceeds the old by strictly more
+	// than the threshold fraction.
+	StatusRegressed Status = "regressed"
+	// StatusImproved: the new ns/op undercuts the old by strictly more
+	// than the threshold fraction.
+	StatusImproved Status = "improved"
+	// StatusUnchanged: within the threshold band (inclusive on both
+	// edges — a delta of exactly the threshold is not a regression).
+	StatusUnchanged Status = "unchanged"
+	// StatusMissing: present in the old report only (a benchmark was
+	// deleted or renamed, or the new run selected fewer benchmarks).
+	StatusMissing Status = "missing"
+	// StatusNew: present in the new report only.
+	StatusNew Status = "new"
+	// StatusInvalid: both reports hold the name but one side's ns/op is
+	// zero or negative, so a ratio is meaningless (a malformed or
+	// hand-edited record). Never treated as a regression, but surfaced
+	// so a gate can refuse to vouch for it.
+	StatusInvalid Status = "invalid"
+)
+
+// Delta is one benchmark's comparison row. Percent fields are
+// (new-old)/old in percent; they are 0 for missing/new/invalid rows.
+type Delta struct {
+	Name   string `json:"name"`
+	Status Status `json:"status"`
+
+	OldNsPerOp float64 `json:"old_ns_op,omitempty"`
+	NewNsPerOp float64 `json:"new_ns_op,omitempty"`
+	NsPct      float64 `json:"ns_pct,omitempty"`
+
+	// Bytes/allocs deltas ride along for the table; -1 metrics (no
+	// -benchmem) leave the percent at 0.
+	OldBytesPerOp  int64   `json:"old_b_op,omitempty"`
+	NewBytesPerOp  int64   `json:"new_b_op,omitempty"`
+	BytesPct       float64 `json:"b_pct,omitempty"`
+	OldAllocsPerOp int64   `json:"old_allocs_op,omitempty"`
+	NewAllocsPerOp int64   `json:"new_allocs_op,omitempty"`
+	AllocsPct      float64 `json:"allocs_pct,omitempty"`
+}
+
+// Diff is the comparison of two reports: one Delta per benchmark name
+// seen in either, in new-report order with missing names appended in
+// old-report order.
+type Diff struct {
+	// Threshold is the classification band as a fraction (0.20 = 20%).
+	Threshold float64 `json:"threshold"`
+	Deltas    []Delta `json:"deltas"`
+
+	Regressed int `json:"regressed"`
+	Improved  int `json:"improved"`
+	Unchanged int `json:"unchanged"`
+	Missing   int `json:"missing"`
+	New       int `json:"new"`
+	Invalid   int `json:"invalid"`
+}
+
+// DefaultThreshold is the regression band the CI gate uses: a hot-path
+// benchmark more than 20% slower than the committed baseline fails.
+const DefaultThreshold = 0.20
+
+// NormalizeName strips the trailing "-N" GOMAXPROCS suffix `go test`
+// appends to benchmark names when N > 1, so records measured on machines
+// with different core counts still match ("BenchmarkSimBitD695-8" and
+// "BenchmarkSimBitD695-4" are one benchmark).
+func NormalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// DiffReports compares two reports benchmark-by-benchmark, matching on
+// NormalizeName. A non-positive threshold means DefaultThreshold. When a
+// name appears more than once in a report (a `-count N` run), the
+// occurrence with the lowest positive ns/op wins: scheduler noise and
+// frequency scaling only ever inflate a wall-time measurement, so
+// best-of-N is the stable estimator a regression gate wants on shared
+// CI hardware.
+func DiffReports(old, new *Report, threshold float64) *Diff {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	d := &Diff{Threshold: threshold}
+	oldByName, oldOrder := bestByName(old)
+	newByName, newOrder := bestByName(new)
+	seen := make(map[string]bool, len(newOrder))
+	for _, name := range newOrder {
+		nb := newByName[name]
+		seen[name] = true
+		ob, ok := oldByName[name]
+		if !ok {
+			d.add(Delta{Name: name, Status: StatusNew, NewNsPerOp: nb.NsPerOp,
+				NewBytesPerOp: nb.BytesPerOp, NewAllocsPerOp: nb.AllocsPerOp})
+			continue
+		}
+		d.add(classify(name, ob, nb, threshold))
+	}
+	for _, name := range oldOrder {
+		if !seen[name] {
+			ob := oldByName[name]
+			d.add(Delta{Name: name, Status: StatusMissing, OldNsPerOp: ob.NsPerOp,
+				OldBytesPerOp: ob.BytesPerOp, OldAllocsPerOp: ob.AllocsPerOp})
+		}
+	}
+	return d
+}
+
+// bestByName indexes a report by normalized name, keeping the
+// lowest-positive-ns/op occurrence of each (zero/negative ns/op rows are
+// kept only when no valid occurrence exists, so they still surface as
+// StatusInvalid rather than silently vanishing).
+func bestByName(r *Report) (map[string]Benchmark, []string) {
+	byName := make(map[string]Benchmark, len(r.Benchmarks))
+	order := make([]string, 0, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		name := NormalizeName(b.Name)
+		prev, ok := byName[name]
+		if !ok {
+			byName[name] = b
+			order = append(order, name)
+			continue
+		}
+		if b.NsPerOp > 0 && (prev.NsPerOp <= 0 || b.NsPerOp < prev.NsPerOp) {
+			byName[name] = b
+		}
+	}
+	return byName, order
+}
+
+func (d *Diff) add(delta Delta) {
+	d.Deltas = append(d.Deltas, delta)
+	switch delta.Status {
+	case StatusRegressed:
+		d.Regressed++
+	case StatusImproved:
+		d.Improved++
+	case StatusUnchanged:
+		d.Unchanged++
+	case StatusMissing:
+		d.Missing++
+	case StatusNew:
+		d.New++
+	case StatusInvalid:
+		d.Invalid++
+	}
+}
+
+func classify(name string, old, new Benchmark, threshold float64) Delta {
+	delta := Delta{
+		Name:       name,
+		OldNsPerOp: old.NsPerOp, NewNsPerOp: new.NsPerOp,
+		OldBytesPerOp: old.BytesPerOp, NewBytesPerOp: new.BytesPerOp,
+		OldAllocsPerOp: old.AllocsPerOp, NewAllocsPerOp: new.AllocsPerOp,
+	}
+	if old.NsPerOp <= 0 || new.NsPerOp <= 0 {
+		delta.Status = StatusInvalid
+		return delta
+	}
+	ratio := new.NsPerOp / old.NsPerOp
+	delta.NsPct = 100 * (ratio - 1)
+	switch {
+	// Strict inequality on both edges: a delta of exactly the threshold
+	// stays "unchanged" (the gate's contract is ">20%", not "≥20%").
+	case ratio > 1+threshold:
+		delta.Status = StatusRegressed
+	case ratio < 1-threshold:
+		delta.Status = StatusImproved
+	default:
+		delta.Status = StatusUnchanged
+	}
+	if old.BytesPerOp > 0 && new.BytesPerOp >= 0 {
+		delta.BytesPct = 100 * (float64(new.BytesPerOp)/float64(old.BytesPerOp) - 1)
+	}
+	if old.AllocsPerOp > 0 && new.AllocsPerOp >= 0 {
+		delta.AllocsPct = 100 * (float64(new.AllocsPerOp)/float64(old.AllocsPerOp) - 1)
+	}
+	return delta
+}
+
+// Gate checks the pinned hot-path set against the diff: every pattern
+// must match at least one comparable (old+new, valid) benchmark, and none
+// of the matched benchmarks may be regressed. Patterns match by substring
+// on the normalized name, so "OptimizePNX8550" pins
+// "BenchmarkOptimizePNX8550-8". The returned error names every violation;
+// nil means the gate passes.
+func (d *Diff) Gate(patterns []string) error {
+	var violations []string
+	for _, pat := range patterns {
+		comparable := 0
+		for _, delta := range d.Deltas {
+			if !strings.Contains(delta.Name, pat) {
+				continue
+			}
+			switch delta.Status {
+			case StatusRegressed:
+				comparable++
+				violations = append(violations, fmt.Sprintf(
+					"%s regressed %.1f%% (%.0f -> %.0f ns/op, threshold %.0f%%)",
+					delta.Name, delta.NsPct, delta.OldNsPerOp, delta.NewNsPerOp,
+					100*d.Threshold))
+			case StatusImproved, StatusUnchanged:
+				comparable++
+			case StatusInvalid:
+				violations = append(violations, fmt.Sprintf(
+					"%s has a zero/negative ns/op on one side; the gate cannot vouch for it", delta.Name))
+			}
+		}
+		if comparable == 0 {
+			violations = append(violations, fmt.Sprintf(
+				"pinned benchmark %q matched no comparable result (present in both records)", pat))
+		}
+	}
+	if len(violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("bench gate: %s", strings.Join(violations, "; "))
+}
+
+// WriteTable renders the diff as an aligned human table, worst ns/op
+// regressions first, unchanged rows collapsed to a count when the diff
+// holds more than compactAbove rows.
+func (d *Diff) WriteTable(w io.Writer) error {
+	const compactAbove = 20
+	rows := make([]Delta, len(d.Deltas))
+	copy(rows, d.Deltas)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].NsPct > rows[j].NsPct })
+	compact := len(rows) > compactAbove
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tstatus\told ns/op\tnew ns/op\tns Δ%\tB/op Δ%\tallocs Δ%")
+	hidden := 0
+	for _, r := range rows {
+		if compact && r.Status == StatusUnchanged {
+			hidden++
+			continue
+		}
+		switch r.Status {
+		case StatusMissing:
+			fmt.Fprintf(tw, "%s\t%s\t%.0f\t-\t\t\t\n", r.Name, r.Status, r.OldNsPerOp)
+		case StatusNew:
+			fmt.Fprintf(tw, "%s\t%s\t-\t%.0f\t\t\t\n", r.Name, r.Status, r.NewNsPerOp)
+		case StatusInvalid:
+			fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t\t\t\n", r.Name, r.Status, r.OldNsPerOp, r.NewNsPerOp)
+		default:
+			fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.0f\t%+.1f\t%+.1f\t%+.1f\n",
+				r.Name, r.Status, r.OldNsPerOp, r.NewNsPerOp, r.NsPct, r.BytesPct, r.AllocsPct)
+		}
+	}
+	if hidden > 0 {
+		fmt.Fprintf(tw, "(%d unchanged within %.0f%%)\t\t\t\t\t\t\n", hidden, 100*d.Threshold)
+	}
+	fmt.Fprintf(tw, "summary\t%d regressed, %d improved, %d unchanged, %d missing, %d new, %d invalid\t\t\t\t\t\n",
+		d.Regressed, d.Improved, d.Unchanged, d.Missing, d.New, d.Invalid)
+	return tw.Flush()
+}

@@ -1,0 +1,233 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(benchmarks ...Benchmark) *Report {
+	return &Report{Date: "2026-08-08", Benchmarks: benchmarks}
+}
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, NsPerOp: ns, BytesPerOp: -1, AllocsPerOp: -1}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for _, c := range []struct{ in, want string }{
+		{"BenchmarkSimBitD695-8", "BenchmarkSimBitD695"},
+		{"BenchmarkSimBitD695-4", "BenchmarkSimBitD695"},
+		{"BenchmarkSimBitD695", "BenchmarkSimBitD695"},
+		{"BenchmarkSweepEngine/workers=4-8", "BenchmarkSweepEngine/workers=4"},
+		{"BenchmarkX-y", "BenchmarkX-y"}, // non-numeric suffix stays
+		{"BenchmarkX-", "BenchmarkX-"},   // trailing dash, no digits
+		{"-8", "-8"},                     // degenerate: dash first
+	} {
+		if got := NormalizeName(c.in); got != c.want {
+			t.Errorf("NormalizeName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDiffClassification is the core table: every status, both threshold
+// boundaries, zero-ns records, and cross-machine CPU-suffix matching.
+func TestDiffClassification(t *testing.T) {
+	cases := []struct {
+		name       string
+		old, new   Benchmark
+		threshold  float64
+		wantStatus Status
+		wantNsPct  float64
+	}{
+		{name: "clear regression",
+			old: bench("BenchmarkA-8", 100), new: bench("BenchmarkA-8", 200),
+			threshold: 0.20, wantStatus: StatusRegressed, wantNsPct: 100},
+		{name: "clear improvement",
+			old: bench("BenchmarkA-8", 200), new: bench("BenchmarkA-8", 100),
+			threshold: 0.20, wantStatus: StatusImproved, wantNsPct: -50},
+		{name: "unchanged inside band",
+			old: bench("BenchmarkA-8", 100), new: bench("BenchmarkA-8", 110),
+			threshold: 0.20, wantStatus: StatusUnchanged, wantNsPct: 10},
+		{name: "exactly +20 percent is not a regression",
+			old: bench("BenchmarkA-8", 100), new: bench("BenchmarkA-8", 120),
+			threshold: 0.20, wantStatus: StatusUnchanged, wantNsPct: 20},
+		{name: "just over +20 percent regresses",
+			old: bench("BenchmarkA-8", 1000), new: bench("BenchmarkA-8", 1201),
+			threshold: 0.20, wantStatus: StatusRegressed, wantNsPct: 20.1},
+		{name: "exactly -20 percent is not an improvement",
+			old: bench("BenchmarkA-8", 100), new: bench("BenchmarkA-8", 80),
+			threshold: 0.20, wantStatus: StatusUnchanged, wantNsPct: -20},
+		{name: "zero old ns is invalid, not a regression",
+			old: bench("BenchmarkA-8", 0), new: bench("BenchmarkA-8", 100),
+			threshold: 0.20, wantStatus: StatusInvalid},
+		{name: "zero new ns is invalid, not an improvement",
+			old: bench("BenchmarkA-8", 100), new: bench("BenchmarkA-8", 0),
+			threshold: 0.20, wantStatus: StatusInvalid},
+		{name: "negative ns (malformed record) is invalid",
+			old: bench("BenchmarkA-8", -1), new: bench("BenchmarkA-8", 100),
+			threshold: 0.20, wantStatus: StatusInvalid},
+		{name: "different cpu suffixes still match",
+			old: bench("BenchmarkA-4", 100), new: bench("BenchmarkA-8", 300),
+			threshold: 0.20, wantStatus: StatusRegressed, wantNsPct: 200},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := DiffReports(report(c.old), report(c.new), c.threshold)
+			if len(d.Deltas) != 1 {
+				t.Fatalf("got %d deltas, want 1: %+v", len(d.Deltas), d.Deltas)
+			}
+			delta := d.Deltas[0]
+			if delta.Status != c.wantStatus {
+				t.Errorf("status = %q, want %q (%+v)", delta.Status, c.wantStatus, delta)
+			}
+			if c.wantStatus != StatusInvalid {
+				if diff := delta.NsPct - c.wantNsPct; diff > 0.05 || diff < -0.05 {
+					t.Errorf("NsPct = %v, want %v", delta.NsPct, c.wantNsPct)
+				}
+			}
+		})
+	}
+}
+
+func TestDiffMissingAndNew(t *testing.T) {
+	old := report(bench("BenchmarkKept-8", 100), bench("BenchmarkDeleted-8", 50))
+	cur := report(bench("BenchmarkKept-8", 105), bench("BenchmarkAdded-8", 75))
+	d := DiffReports(old, cur, 0.20)
+	want := map[string]Status{
+		"BenchmarkKept":    StatusUnchanged,
+		"BenchmarkAdded":   StatusNew,
+		"BenchmarkDeleted": StatusMissing,
+	}
+	if len(d.Deltas) != len(want) {
+		t.Fatalf("got %d deltas, want %d: %+v", len(d.Deltas), len(want), d.Deltas)
+	}
+	for _, delta := range d.Deltas {
+		if delta.Status != want[delta.Name] {
+			t.Errorf("%s = %q, want %q", delta.Name, delta.Status, want[delta.Name])
+		}
+	}
+	if d.Missing != 1 || d.New != 1 || d.Unchanged != 1 {
+		t.Errorf("counts = %+v", d)
+	}
+	// Missing rows come after the new report's rows.
+	if last := d.Deltas[len(d.Deltas)-1]; last.Status != StatusMissing {
+		t.Errorf("last delta = %+v, want the missing row appended", last)
+	}
+}
+
+// TestDiffDuplicateNamesBestWins: with -count N runs in one record, the
+// lowest positive ns/op is the measurement (noise only inflates).
+func TestDiffDuplicateNamesBestWins(t *testing.T) {
+	old := report(bench("BenchmarkA-8", 9999), bench("BenchmarkA-8", 100))
+	cur := report(bench("BenchmarkA-8", 110), bench("BenchmarkA-8", 500))
+	d := DiffReports(old, cur, 0.20)
+	if len(d.Deltas) != 1 || d.Deltas[0].Status != StatusUnchanged ||
+		d.Deltas[0].OldNsPerOp != 100 || d.Deltas[0].NewNsPerOp != 110 {
+		t.Errorf("duplicate handling: %+v", d.Deltas)
+	}
+	// A zero-ns duplicate never shadows a valid measurement...
+	d2 := DiffReports(report(bench("BenchmarkA-8", 0), bench("BenchmarkA-8", 100)),
+		report(bench("BenchmarkA-8", 100)), 0.20)
+	if d2.Deltas[0].Status != StatusUnchanged {
+		t.Errorf("zero-ns duplicate shadowed valid run: %+v", d2.Deltas)
+	}
+	// ...but all-invalid occurrences still surface as invalid.
+	d3 := DiffReports(report(bench("BenchmarkA-8", 0)), report(bench("BenchmarkA-8", 100)), 0.20)
+	if d3.Deltas[0].Status != StatusInvalid {
+		t.Errorf("all-zero old record: %+v", d3.Deltas)
+	}
+}
+
+func TestDiffMemoryDeltas(t *testing.T) {
+	old := report(Benchmark{Name: "BenchmarkA-8", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10})
+	cur := report(Benchmark{Name: "BenchmarkA-8", NsPerOp: 100, BytesPerOp: 1500, AllocsPerOp: 5})
+	d := DiffReports(old, cur, 0.20)
+	delta := d.Deltas[0]
+	if delta.BytesPct != 50 || delta.AllocsPct != -50 {
+		t.Errorf("memory deltas = %+v", delta)
+	}
+	// -1 (no -benchmem) never produces a percent.
+	d2 := DiffReports(report(bench("BenchmarkA-8", 100)), report(bench("BenchmarkA-8", 100)), 0.20)
+	if d2.Deltas[0].BytesPct != 0 || d2.Deltas[0].AllocsPct != 0 {
+		t.Errorf("no-benchmem deltas = %+v", d2.Deltas[0])
+	}
+}
+
+func TestDiffDefaultThreshold(t *testing.T) {
+	// threshold <= 0 falls back to the 20% default: +21% regresses.
+	d := DiffReports(report(bench("BenchmarkA-8", 100)), report(bench("BenchmarkA-8", 121)), 0)
+	if d.Threshold != DefaultThreshold || d.Deltas[0].Status != StatusRegressed {
+		t.Errorf("default threshold diff = %+v", d)
+	}
+}
+
+func TestGate(t *testing.T) {
+	old := report(
+		bench("BenchmarkOptimizePNX8550-8", 2800000),
+		bench("BenchmarkSimBitD695-8", 40000),
+		bench("BenchmarkSweepEngine/workers=4-8", 15000000),
+		bench("BenchmarkUnpinnedSlow-8", 100),
+	)
+
+	t.Run("pass", func(t *testing.T) {
+		cur := report(
+			bench("BenchmarkOptimizePNX8550-8", 2900000),
+			bench("BenchmarkSimBitD695-8", 39000),
+			bench("BenchmarkSweepEngine/workers=4-8", 15000001),
+			bench("BenchmarkUnpinnedSlow-8", 500), // unpinned regression: not gated
+		)
+		d := DiffReports(old, cur, 0.20)
+		if err := d.Gate([]string{"OptimizePNX8550", "SimBitD695", "SweepEngine"}); err != nil {
+			t.Errorf("gate failed on healthy record: %v", err)
+		}
+	})
+
+	t.Run("regression fails and is named", func(t *testing.T) {
+		cur := report(
+			bench("BenchmarkOptimizePNX8550-8", 4000000), // +43%
+			bench("BenchmarkSimBitD695-8", 40000),
+			bench("BenchmarkSweepEngine/workers=4-8", 15000000),
+		)
+		d := DiffReports(old, cur, 0.20)
+		err := d.Gate([]string{"OptimizePNX8550", "SimBitD695", "SweepEngine"})
+		if err == nil || !strings.Contains(err.Error(), "OptimizePNX8550") {
+			t.Errorf("gate error = %v, want OptimizePNX8550 named", err)
+		}
+	})
+
+	t.Run("pinned benchmark absent fails", func(t *testing.T) {
+		cur := report(bench("BenchmarkOptimizePNX8550-8", 2800000))
+		d := DiffReports(old, cur, 0.20)
+		err := d.Gate([]string{"OptimizePNX8550", "SimBitD695"})
+		if err == nil || !strings.Contains(err.Error(), "SimBitD695") {
+			t.Errorf("gate error = %v, want missing SimBitD695 named", err)
+		}
+	})
+
+	t.Run("invalid pinned record fails", func(t *testing.T) {
+		cur := report(
+			bench("BenchmarkOptimizePNX8550-8", 0), // malformed
+			bench("BenchmarkSimBitD695-8", 40000),
+		)
+		d := DiffReports(old, cur, 0.20)
+		if err := d.Gate([]string{"OptimizePNX8550", "SimBitD695"}); err == nil {
+			t.Error("gate passed a zero-ns pinned record")
+		}
+	})
+}
+
+func TestWriteTable(t *testing.T) {
+	old := report(bench("BenchmarkA-8", 100), bench("BenchmarkGone-8", 50))
+	cur := report(bench("BenchmarkA-8", 300), bench("BenchmarkFresh-8", 75))
+	d := DiffReports(old, cur, 0.20)
+	var sb strings.Builder
+	if err := d.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"BenchmarkA", "regressed", "+200.0", "missing", "new", "1 regressed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

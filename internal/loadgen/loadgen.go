@@ -1,0 +1,283 @@
+// Package loadgen is the measurement backbone of the serving layer: a
+// deterministic mixed-traffic load generator for cmd/serve, and the
+// latency/throughput report the repository's performance claims are
+// checked against.
+//
+// A run has two halves. BuildSchedule expands (seed, rate, duration,
+// mix) into a fully materialized request schedule — every request's
+// class, arrival offset, and exact body bytes — so the same seed always
+// replays the same traffic (the schedule is byte-identical run to run;
+// see TestScheduleDeterministic). Run then replays the schedule against
+// a live server open-loop: requests launch at their scheduled offsets
+// regardless of earlier completions, which is what a fleet of
+// independent clients looks like, and what makes tail latency at a
+// controlled arrival rate meaningful.
+//
+// Traffic classes model the server's distinct cost regimes:
+//
+//	hot     — POST /v1/optimize over a small pool of repeated scenarios:
+//	          after first touch these are result-cache byte hits.
+//	cold    — POST /v1/optimize uploading a fresh synthetic SOC
+//	          (soc_text) per request: content-addressed keys never
+//	          repeat, so every request runs a real Step 1+2 design.
+//	sweep   — POST /v1/sweep streaming a small NDJSON grid: the
+//	          long-lived streaming path.
+//	compare — POST /v1/compare racing two backends: the fan-out path.
+//
+// The report (Result) gives per-class p50/p90/p99 latency,
+// responses/sec, error counts, and the server-side cache hit rate
+// scraped from /metrics — the same shape as the repository's bench
+// records, so a LOADGEN_<date>.json lands alongside BENCH_<date>.json
+// as a trajectory point.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"multisite/internal/benchdata"
+	"multisite/internal/cli"
+	"multisite/internal/server"
+	"multisite/internal/soc"
+)
+
+// Class is one traffic class of the mixed schedule.
+type Class string
+
+const (
+	ClassHot     Class = "hot"
+	ClassCold    Class = "cold"
+	ClassSweep   Class = "sweep"
+	ClassCompare Class = "compare"
+)
+
+// Classes lists every class in report order.
+var Classes = []Class{ClassHot, ClassCold, ClassSweep, ClassCompare}
+
+// Mix is the traffic composition as relative weights; they need not sum
+// to 1. A zero-valued Mix means DefaultMix.
+type Mix struct {
+	Hot     float64 `json:"hot"`
+	Cold    float64 `json:"cold"`
+	Sweep   float64 `json:"sweep"`
+	Compare float64 `json:"compare"`
+}
+
+// DefaultMix leans on the hot path the way a cache-friendly production
+// workload does, with enough cold uploads to keep real computes in every
+// percentile window.
+var DefaultMix = Mix{Hot: 0.55, Cold: 0.20, Sweep: 0.10, Compare: 0.15}
+
+func (m Mix) total() float64 { return m.Hot + m.Cold + m.Sweep + m.Compare }
+
+func (m Mix) weight(c Class) float64 {
+	switch c {
+	case ClassHot:
+		return m.Hot
+	case ClassCold:
+		return m.Cold
+	case ClassSweep:
+		return m.Sweep
+	case ClassCompare:
+		return m.Compare
+	}
+	return 0
+}
+
+// Request is one fully materialized request of the schedule.
+type Request struct {
+	// Index is the request's position in arrival order.
+	Index int `json:"index"`
+	// At is the arrival offset from the run start.
+	At time.Duration `json:"at_ns"`
+	// Class names the traffic class the request belongs to.
+	Class Class `json:"class"`
+	// Path is the endpoint ("/v1/optimize", "/v1/sweep", "/v1/compare");
+	// every scheduled request is a POST.
+	Path string `json:"path"`
+	// Body is the exact JSON body to send.
+	Body json.RawMessage `json:"body"`
+}
+
+// Schedule is a materialized traffic plan.
+type Schedule struct {
+	Seed     int64         `json:"seed"`
+	Rate     float64       `json:"rate"`
+	Duration time.Duration `json:"duration_ns"`
+	Mix      Mix           `json:"mix"`
+	Requests []Request     `json:"requests"`
+}
+
+// ScheduleOptions parameterize BuildSchedule.
+type ScheduleOptions struct {
+	// Seed makes the schedule deterministic; same seed, same bytes.
+	Seed int64
+	// Rate is the arrival rate in requests per second.
+	Rate float64
+	// Duration is the span the arrivals cover; the request count is
+	// Rate·Duration rounded down (at least 1).
+	Duration time.Duration
+	// Mix is the class composition; zero means DefaultMix.
+	Mix Mix
+	// SOCs names the built-in benchmarks the hot pool draws from;
+	// empty means {"d695"}.
+	SOCs []string
+}
+
+// hot-pool axes: small enough that the pool is fully warmed within the
+// first few dozen hot requests, varied enough to exercise distinct cache
+// entries and design memo keys.
+var (
+	hotChannels = []int{128, 256}
+	hotDepths   = []cli.Size{32 << 10, 64 << 10}
+)
+
+// coldSpec bounds the synthetic chips cold requests upload: small SOCs
+// (sub-millisecond designs) so a cold request measures the full
+// parse+hash+design path without turning the percentile window into a
+// PNX8550 marathon. Cold requests pair the 1M-wire-cycle chips with a
+// 4M-vector depth, so even a seed that concentrates the whole area in
+// one core stays feasible on the narrowest TAM.
+var coldSpec = benchdata.GenSpec{LogicCores: 6, MemoryCores: 2, TargetArea: 1 << 20}
+
+const coldDepth cli.Size = 4 << 20
+
+// BuildSchedule materializes the deterministic request schedule for the
+// given options. Arrivals are evenly spaced at 1/Rate with a ±30% seeded
+// jitter (still strictly increasing), classes are drawn from the mix
+// per request, and every request body is generated here, byte-for-byte —
+// replaying the schedule never consults the RNG again.
+func BuildSchedule(opts ScheduleOptions) (*Schedule, error) {
+	if opts.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: rate must be positive, got %v", opts.Rate)
+	}
+	if opts.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive, got %v", opts.Duration)
+	}
+	mix := opts.Mix
+	if mix == (Mix{}) {
+		mix = DefaultMix
+	}
+	if mix.total() <= 0 || mix.Hot < 0 || mix.Cold < 0 || mix.Sweep < 0 || mix.Compare < 0 {
+		return nil, fmt.Errorf("loadgen: mix weights must be non-negative with a positive sum: %+v", mix)
+	}
+	socs := opts.SOCs
+	if len(socs) == 0 {
+		socs = []string{"d695"}
+	}
+	for _, name := range socs {
+		if benchdata.Shared(name) == nil {
+			return nil, fmt.Errorf("loadgen: unknown benchmark soc %q", name)
+		}
+	}
+
+	n := int(opts.Rate * opts.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	interval := float64(opts.Duration) / float64(n)
+	sched := &Schedule{
+		Seed: opts.Seed, Rate: opts.Rate, Duration: opts.Duration, Mix: mix,
+		Requests: make([]Request, 0, n),
+	}
+	for i := 0; i < n; i++ {
+		// Jitter stays under half the interval on each side, so arrival
+		// order (and offsets) remain strictly increasing.
+		jitter := (rng.Float64() - 0.5) * 0.6 * interval
+		at := time.Duration(float64(i)*interval + interval/2 + jitter)
+		class := drawClass(rng, mix)
+		body, err := buildBody(rng, class, socs, opts.Seed, i)
+		if err != nil {
+			return nil, err
+		}
+		sched.Requests = append(sched.Requests, Request{
+			Index: i, At: at, Class: class, Path: classPath(class), Body: body,
+		})
+	}
+	return sched, nil
+}
+
+func classPath(c Class) string {
+	switch c {
+	case ClassSweep:
+		return "/v1/sweep"
+	case ClassCompare:
+		return "/v1/compare"
+	default:
+		return "/v1/optimize"
+	}
+}
+
+func drawClass(rng *rand.Rand, mix Mix) Class {
+	x := rng.Float64() * mix.total()
+	for _, c := range Classes {
+		if x < mix.weight(c) {
+			return c
+		}
+		x -= mix.weight(c)
+	}
+	return ClassHot // float roundoff at the top edge
+}
+
+// buildBody materializes one request body. Everything is drawn from the
+// schedule RNG (or derived from the schedule seed and request index), so
+// bodies are reproducible byte-for-byte.
+func buildBody(rng *rand.Rand, class Class, socs []string, seed int64, index int) (json.RawMessage, error) {
+	switch class {
+	case ClassHot:
+		req := server.ScenarioRequest{
+			SOC:      socs[rng.Intn(len(socs))],
+			Channels: hotChannels[rng.Intn(len(hotChannels))],
+			Depth:    hotDepths[rng.Intn(len(hotDepths))],
+		}
+		return json.Marshal(req)
+	case ClassCold:
+		// A fresh chip per request: the generator seed folds in the
+		// schedule seed and the request index, so two schedules with
+		// different seeds upload disjoint chips, and no chip ever
+		// repeats within a schedule (distinct content hash ⇒ cache
+		// miss ⇒ a real design on every cold request).
+		spec := coldSpec
+		spec.Name = fmt.Sprintf("synth-%d-%d", seed, index)
+		spec.Seed = seed*1_000_003 + int64(index)
+		chip := benchdata.Generate(spec)
+		req := server.ScenarioRequest{
+			SOCText:  soc.WriteString(chip),
+			Channels: 128,
+			Depth:    coldDepth,
+		}
+		return json.Marshal(req)
+	case ClassSweep:
+		req := server.SweepRequest{
+			ScenarioRequest: server.ScenarioRequest{
+				SOC:      socs[rng.Intn(len(socs))],
+				Channels: hotChannels[rng.Intn(len(hotChannels))],
+			},
+			Depths: cli.SizeList{32 << 10, 48 << 10, 64 << 10},
+		}
+		return json.Marshal(req)
+	case ClassCompare:
+		req := server.CompareRequest{
+			ScenarioRequest: server.ScenarioRequest{
+				SOC:      socs[rng.Intn(len(socs))],
+				Channels: hotChannels[rng.Intn(len(hotChannels))],
+				Depth:    hotDepths[rng.Intn(len(hotDepths))],
+			},
+			// The two always-fast backends: the exact solver's runtime
+			// explodes on big SOCs, which would measure the backend, not
+			// the serving layer.
+			Solvers: []string{"heuristic", "baseline"},
+		}
+		return json.Marshal(req)
+	}
+	return nil, fmt.Errorf("loadgen: unknown class %q", class)
+}
+
+// Marshal renders the schedule as indented JSON — the byte-identity
+// witness tests compare, and a debugging artifact (-dump-schedule).
+func (s *Schedule) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,255 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"multisite/internal/server"
+)
+
+// TestScheduleDeterministic: same seed ⇒ byte-identical schedule,
+// different seed ⇒ different traffic.
+func TestScheduleDeterministic(t *testing.T) {
+	opts := ScheduleOptions{Seed: 42, Rate: 200, Duration: 2 * time.Second}
+	a, err := BuildSchedule(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Error("same seed produced different schedule bytes")
+	}
+	opts.Seed = 43
+	c, err := BuildSchedule(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ab, cb) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	sched, err := BuildSchedule(ScheduleOptions{Seed: 7, Rate: 100, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Requests) != 100 {
+		t.Fatalf("got %d requests, want 100", len(sched.Requests))
+	}
+	var prev time.Duration = -1
+	coldBodies := map[string]bool{}
+	for _, r := range sched.Requests {
+		if r.At <= prev {
+			t.Fatalf("arrivals not strictly increasing at index %d: %v after %v", r.Index, r.At, prev)
+		}
+		prev = r.At
+		if r.At < 0 || r.At > sched.Duration {
+			t.Errorf("arrival %v outside (0, %v]", r.At, sched.Duration)
+		}
+		switch r.Class {
+		case ClassHot:
+			if r.Path != "/v1/optimize" || !strings.Contains(string(r.Body), `"soc"`) {
+				t.Errorf("hot request malformed: %s %s", r.Path, r.Body)
+			}
+		case ClassCold:
+			if r.Path != "/v1/optimize" || !strings.Contains(string(r.Body), `"soc_text"`) {
+				t.Errorf("cold request malformed: %s", r.Path)
+			}
+			if coldBodies[string(r.Body)] {
+				t.Errorf("cold request %d repeats an earlier body (must be cache-cold)", r.Index)
+			}
+			coldBodies[string(r.Body)] = true
+		case ClassSweep:
+			if r.Path != "/v1/sweep" || !strings.Contains(string(r.Body), `"depths"`) {
+				t.Errorf("sweep request malformed: %s %s", r.Path, r.Body)
+			}
+		case ClassCompare:
+			if r.Path != "/v1/compare" || !strings.Contains(string(r.Body), `"solvers"`) {
+				t.Errorf("compare request malformed: %s %s", r.Path, r.Body)
+			}
+		default:
+			t.Errorf("unknown class %q", r.Class)
+		}
+	}
+}
+
+// TestScheduleMixRatios draws a large schedule and checks every class
+// lands within an absolute tolerance of its weight. The draw is seeded,
+// so this never flakes; the ±3% bound at n=3000 (>3σ of binomial noise)
+// documents that the tolerance is statistical, not incidental.
+func TestScheduleMixRatios(t *testing.T) {
+	mix := Mix{Hot: 0.5, Cold: 0.2, Sweep: 0.1, Compare: 0.2}
+	sched, err := BuildSchedule(ScheduleOptions{Seed: 11, Rate: 1000, Duration: 3 * time.Second, Mix: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Class]int{}
+	for _, r := range sched.Requests {
+		counts[r.Class]++
+	}
+	n := float64(len(sched.Requests))
+	for _, c := range Classes {
+		got := float64(counts[c]) / n
+		want := mix.weight(c) / mix.total()
+		if got < want-0.03 || got > want+0.03 {
+			t.Errorf("class %s frequency %.3f, want %.3f ±0.03 (n=%d)", c, got, want, len(sched.Requests))
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	for _, c := range []ScheduleOptions{
+		{Seed: 1, Rate: 0, Duration: time.Second},
+		{Seed: 1, Rate: 10, Duration: 0},
+		{Seed: 1, Rate: 10, Duration: time.Second, Mix: Mix{Hot: -1, Cold: 2}},
+		{Seed: 1, Rate: 10, Duration: time.Second, SOCs: []string{"no-such-soc"}},
+	} {
+		if _, err := BuildSchedule(c); err == nil {
+			t.Errorf("BuildSchedule(%+v) accepted invalid options", c)
+		}
+	}
+}
+
+// TestRunEndToEnd replays a short mixed schedule against a real
+// in-process server and checks the report: every class present with
+// nonzero percentiles, no errors, a hot-class cache hit rate above zero,
+// and a scraped server-side hit rate above zero.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live replay")
+	}
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// High rate over a short wall-clock window: the mix quota per class
+	// comes from the request count, not the duration.
+	sched, err := BuildSchedule(ScheduleOptions{Seed: 3, Rate: 400, Duration: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), sched, RunOptions{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != len(sched.Requests) {
+		t.Errorf("replayed %d of %d requests", res.Total, len(sched.Requests))
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d errors in replay", res.Errors)
+	}
+	if res.ResponsesPerSec <= 0 {
+		t.Errorf("responses/sec = %v", res.ResponsesPerSec)
+	}
+	seen := map[Class]bool{}
+	for _, c := range res.Classes {
+		seen[c.Class] = true
+		if c.Count == 0 {
+			continue
+		}
+		if c.P50Ms <= 0 || c.P90Ms <= 0 || c.P99Ms <= 0 {
+			t.Errorf("class %s percentiles not all positive: %+v", c.Class, c)
+		}
+		if c.P50Ms > c.P99Ms {
+			t.Errorf("class %s p50 %.3f > p99 %.3f", c.Class, c.P50Ms, c.P99Ms)
+		}
+		if c.Class == ClassHot && c.CacheHits == 0 {
+			t.Errorf("hot class saw no cache hits: %+v", c)
+		}
+		if c.Class == ClassCold && c.CacheHits > 0 {
+			t.Errorf("cold class saw cache hits — synthetic chips must be unique: %+v", c)
+		}
+	}
+	for _, c := range Classes {
+		if !seen[c] {
+			t.Errorf("class %s absent from the report", c)
+		}
+	}
+	if !res.Server.Scraped {
+		t.Error("server metrics not scraped")
+	} else if res.Server.HitRate <= 0 {
+		t.Errorf("server-side hit rate = %v, want > 0", res.Server.HitRate)
+	}
+
+	// The report serializes and renders.
+	var sb strings.Builder
+	if err := res.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hot", "cold", "sweep", "compare", "responses/sec", "hit rate"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, sb.String())
+		}
+	}
+	var jb bytes.Buffer
+	if err := res.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(jb.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if back.Total != res.Total || len(back.Classes) != len(res.Classes) {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+}
+
+// TestRunCancelled: a cancelled context stops the launch loop and
+// reports the prefix.
+func TestRunCancelled(t *testing.T) {
+	srv := server.New(server.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	sched, err := BuildSchedule(ScheduleOptions{Seed: 5, Rate: 10, Duration: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	res, err := Run(ctx, sched, RunOptions{BaseURL: ts.URL})
+	if err == nil {
+		t.Error("cancelled run reported no error")
+	}
+	if res == nil || res.Total >= len(sched.Requests) {
+		t.Errorf("cancelled run did not truncate: %+v", res)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, c := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 5}, {0.90, 9}, {0.99, 10}, {1.0, 10}} {
+		if got := percentile(sorted, c.q); got != c.want {
+			t.Errorf("percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile([]time.Duration{7}, 0.99); got != 7 {
+		t.Errorf("single-sample percentile = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}

@@ -1,0 +1,42 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteTable renders the run report as an aligned human table: one row
+// per traffic class, then the run-wide throughput and cache lines.
+func (r *Result) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "class\tcount\terrors\thits\tp50 ms\tp90 ms\tp99 ms\tmean ms\tmax ms")
+	for _, c := range r.Classes {
+		hits := "-"
+		if c.CacheHits+c.CacheMisses > 0 {
+			hits = fmt.Sprintf("%d/%d", c.CacheHits, c.CacheHits+c.CacheMisses)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			c.Class, c.Count, c.Errors, hits, c.P50Ms, c.P90Ms, c.P99Ms, c.MeanMs, c.MaxMs)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%d requests in %.2fs (target rate %.1f/s, seed %d): %.1f responses/sec, %d errors\n",
+		r.Total, r.Elapsed.Seconds(), r.Rate, r.Seed, r.ResponsesPerSec, r.Errors)
+	if r.Server.Scraped {
+		fmt.Fprintf(w, "server cache: %d hits + %d dedups / %d computes — hit rate %.1f%%\n",
+			r.Server.CacheHits, r.Server.CacheDedups, r.Server.CacheComputes, 100*r.Server.HitRate)
+	}
+	return nil
+}
+
+// WriteJSON writes the machine-readable record, indented — the
+// LOADGEN_<date>.json trajectory point alongside cmd/bench's
+// BENCH_<date>.json.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

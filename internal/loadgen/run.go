@@ -1,0 +1,327 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RunOptions parameterize a replay.
+type RunOptions struct {
+	// BaseURL is the server to load, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client; nil means a dedicated client with a
+	// connection pool sized for the run.
+	Client *http.Client
+	// MaxInflight bounds concurrently outstanding requests; once the
+	// bound is hit, later arrivals wait for a slot (the generator
+	// degrades closed-loop under overload instead of spawning without
+	// bound). 0 means 64.
+	MaxInflight int
+	// NoScrape skips the /metrics scrape (for servers that are not
+	// cmd/serve).
+	NoScrape bool
+}
+
+// sample is one completed request's measurement.
+type sample struct {
+	class   Class
+	latency time.Duration
+	err     bool
+	// cache is "hit", "miss", or "" (endpoint does not report X-Cache).
+	cache string
+}
+
+// ClassReport aggregates one traffic class of a finished run. Latency
+// percentiles are nearest-rank over successful requests only; errors are
+// counted, not timed.
+type ClassReport struct {
+	Class  Class `json:"class"`
+	Count  int   `json:"count"`
+	Errors int   `json:"errors"`
+
+	// CacheHits/CacheMisses classify responses carrying an X-Cache
+	// header (the /v1/optimize byte cache); other endpoints leave both 0.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// ServerStats is the server-side /metrics delta over the run. HitRate
+// counts dedups as hits: a deduplicated request was served without a
+// fresh compute, which is what the rate is measuring.
+type ServerStats struct {
+	Scraped       bool    `json:"scraped"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheDedups   int64   `json:"cache_dedups"`
+	CacheComputes int64   `json:"cache_computes"`
+	HitRate       float64 `json:"cache_hit_rate"`
+}
+
+// Result is a finished run's report.
+type Result struct {
+	Date     string        `json:"date"`
+	Seed     int64         `json:"seed"`
+	Rate     float64       `json:"rate"`
+	Duration time.Duration `json:"duration_ns"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+
+	Total           int     `json:"total"`
+	Errors          int     `json:"errors"`
+	ResponsesPerSec float64 `json:"responses_per_sec"`
+
+	Classes []ClassReport `json:"classes"`
+	Server  ServerStats   `json:"server"`
+}
+
+// Run replays the schedule against the server, open-loop: each request
+// launches at its scheduled offset (subject to MaxInflight), and the
+// report aggregates what came back. A cancelled context stops launching
+// new requests and reports the completed prefix; the error is ctx.Err().
+func Run(ctx context.Context, sched *Schedule, opts RunOptions) (*Result, error) {
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: RunOptions.BaseURL is required")
+	}
+	base := strings.TrimSuffix(opts.BaseURL, "/")
+	inflight := opts.MaxInflight
+	if inflight <= 0 {
+		inflight = 64
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        inflight,
+			MaxIdleConnsPerHost: inflight,
+		}}
+	}
+
+	var before metricsSnapshot
+	scraped := false
+	if !opts.NoScrape {
+		if m, err := scrapeMetrics(ctx, client, base); err == nil {
+			before, scraped = m, true
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		samples = make([]sample, 0, len(sched.Requests))
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, inflight)
+	)
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	var launchErr error
+	for i := range sched.Requests {
+		req := &sched.Requests[i]
+		if d := req.At - time.Since(start); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				launchErr = ctx.Err()
+			}
+		}
+		if launchErr == nil {
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				launchErr = ctx.Err()
+			}
+		}
+		if launchErr != nil {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s := send(ctx, client, base, req)
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := aggregate(sched, samples, elapsed)
+	if scraped {
+		if after, err := scrapeMetrics(context.Background(), client, base); err == nil {
+			res.Server = diffMetrics(before, after)
+		}
+	}
+	return res, launchErr
+}
+
+// send issues one scheduled request and fully consumes the response —
+// for a sweep that means draining the whole NDJSON stream, so the sample
+// is the end-to-end delivery a client experiences.
+func send(ctx context.Context, client *http.Client, base string, r *Request) sample {
+	s := sample{class: r.Class}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+r.Path, bytes.NewReader(r.Body))
+	if err != nil {
+		s.err = true
+		return s
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		s.err = true
+		s.latency = time.Since(start)
+		return s
+	}
+	_, copyErr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.latency = time.Since(start)
+	if copyErr != nil || resp.StatusCode != http.StatusOK {
+		s.err = true
+		return s
+	}
+	s.cache = resp.Header.Get("X-Cache")
+	return s
+}
+
+func aggregate(sched *Schedule, samples []sample, elapsed time.Duration) *Result {
+	res := &Result{
+		Date:     time.Now().Format("2006-01-02"),
+		Seed:     sched.Seed,
+		Rate:     sched.Rate,
+		Duration: sched.Duration,
+		Elapsed:  elapsed,
+	}
+	byClass := make(map[Class][]sample, len(Classes))
+	for _, s := range samples {
+		byClass[s.class] = append(byClass[s.class], s)
+	}
+	ok := 0
+	for _, c := range Classes {
+		group := byClass[c]
+		if len(group) == 0 {
+			continue
+		}
+		cr := ClassReport{Class: c, Count: len(group)}
+		var lat []time.Duration
+		var sum time.Duration
+		for _, s := range group {
+			if s.err {
+				cr.Errors++
+				continue
+			}
+			lat = append(lat, s.latency)
+			sum += s.latency
+			switch s.cache {
+			case "hit":
+				cr.CacheHits++
+			case "miss":
+				cr.CacheMisses++
+			}
+		}
+		ok += len(lat)
+		if len(lat) > 0 {
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			cr.P50Ms = ms(percentile(lat, 0.50))
+			cr.P90Ms = ms(percentile(lat, 0.90))
+			cr.P99Ms = ms(percentile(lat, 0.99))
+			cr.MeanMs = ms(sum / time.Duration(len(lat)))
+			cr.MaxMs = ms(lat[len(lat)-1])
+		}
+		res.Total += cr.Count
+		res.Errors += cr.Errors
+		res.Classes = append(res.Classes, cr)
+	}
+	if elapsed > 0 {
+		res.ResponsesPerSec = float64(ok) / elapsed.Seconds()
+	}
+	return res
+}
+
+// percentile is nearest-rank on an ascending-sorted slice: the smallest
+// sample with at least q·n samples at or below it.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted))*q+0.9999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// metricsSnapshot holds the unlabeled counter values loadgen reads from
+// /metrics.
+type metricsSnapshot struct {
+	hits, dedups, computes int64
+}
+
+func scrapeMetrics(ctx context.Context, client *http.Client, base string) (metricsSnapshot, error) {
+	var snap metricsSnapshot
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return snap, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return snap, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("loadgen: GET /metrics: status %d", resp.StatusCode)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "multisite_cache_hits_total":
+			snap.hits = v
+		case "multisite_cache_dedups_total":
+			snap.dedups = v
+		case "multisite_cache_computes_total":
+			snap.computes = v
+		}
+	}
+	return snap, nil
+}
+
+func diffMetrics(before, after metricsSnapshot) ServerStats {
+	st := ServerStats{
+		Scraped:       true,
+		CacheHits:     after.hits - before.hits,
+		CacheDedups:   after.dedups - before.dedups,
+		CacheComputes: after.computes - before.computes,
+	}
+	if total := st.CacheHits + st.CacheDedups + st.CacheComputes; total > 0 {
+		st.HitRate = float64(st.CacheHits+st.CacheDedups) / float64(total)
+	}
+	return st
+}

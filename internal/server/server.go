@@ -45,7 +45,6 @@ import (
 	"io"
 	"net/http"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +103,7 @@ type Server struct {
 	names     []string
 
 	requests  map[string]*atomic.Int64 // endpoint -> count
+	durations map[string]*histogram    // endpoint -> latency histogram
 	sweepRows atomic.Int64
 	inflight  atomic.Int64
 }
@@ -122,6 +122,7 @@ func New(opts Options) *Server {
 		socHashes: make(map[string]string),
 		names:     benchdata.Names(),
 		requests:  make(map[string]*atomic.Int64),
+		durations: make(map[string]*histogram),
 	}
 	for _, name := range s.names {
 		chip := benchdata.Shared(name)
@@ -130,6 +131,7 @@ func New(opts Options) *Server {
 	}
 	for _, ep := range []string{"optimize", "sweep", "compare", "solvers", "socs", "healthz", "metrics"} {
 		s.requests[ep] = &atomic.Int64{}
+		s.durations[ep] = &histogram{}
 	}
 	return s
 }
@@ -137,13 +139,13 @@ func New(opts Options) *Server {
 // Handler returns the HTTP handler serving all endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("POST /v1/compare", s.handleCompare)
-	mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
-	mux.HandleFunc("GET /v1/socs", s.handleSOCs)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/optimize", s.instrument("optimize", s.handleOptimize))
+	mux.HandleFunc("POST /v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/compare", s.instrument("compare", s.handleCompare))
+	mux.HandleFunc("GET /v1/solvers", s.instrument("solvers", s.handleSolvers))
+	mux.HandleFunc("GET /v1/socs", s.instrument("socs", s.handleSOCs))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
 }
 
@@ -253,7 +255,6 @@ func (s *Server) computeSnapshot(ctx context.Context, env *scenarioEnv, solver s
 }
 
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	s.requests["optimize"].Add(1)
 	var req ScenarioRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -281,7 +282,6 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.requests["sweep"].Add(1)
 	var req SweepRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -383,7 +383,6 @@ func (s *Server) rowBytes(ctx context.Context, env *scenarioEnv, solver string, 
 // handleSolvers lists the registered optimizer backends — the menu the
 // solver fields of /v1/optimize, /v1/sweep, and /v1/compare accept.
 func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
-	s.requests["solvers"].Add(1)
 	infos := solve.Infos()
 	out := make([]SolverEntry, 0, len(infos))
 	for _, info := range infos {
@@ -405,7 +404,6 @@ func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 // concurrently on the engine pool, and one infeasible backend (the exact
 // solver on a too-large SOC) becomes an error row, not a failed request.
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
-	s.requests["compare"].Add(1)
 	var req CompareRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -553,7 +551,6 @@ func applyDeltas(resp *CompareResponse) {
 }
 
 func (s *Server) handleSOCs(w http.ResponseWriter, r *http.Request) {
-	s.requests["socs"].Add(1)
 	out := make([]SOCInfo, 0, len(s.names))
 	for _, name := range s.names {
 		chip := s.socs[name]
@@ -572,36 +569,8 @@ func (s *Server) handleSOCs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.requests["healthz"].Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	io.WriteString(w, "{\"status\":\"ok\"}\n")
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.requests["metrics"].Add(1)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	endpoints := make([]string, 0, len(s.requests))
-	for ep := range s.requests {
-		endpoints = append(endpoints, ep)
-	}
-	sort.Strings(endpoints)
-	for _, ep := range endpoints {
-		fmt.Fprintf(w, "multisite_requests_total{endpoint=%q} %d\n", ep, s.requests[ep].Load())
-	}
-	st := s.cache.Stats()
-	fmt.Fprintf(w, "multisite_cache_hits_total %d\n", st.Hits)
-	fmt.Fprintf(w, "multisite_cache_dedups_total %d\n", st.Dedups)
-	fmt.Fprintf(w, "multisite_cache_computes_total %d\n", st.Misses)
-	fmt.Fprintf(w, "multisite_cache_evictions_total %d\n", st.Evictions)
-	fmt.Fprintf(w, "multisite_cache_failures_total %d\n", st.Failures)
-	fmt.Fprintf(w, "multisite_cache_entries %d\n", st.Entries)
-	memoReq, memoMiss := s.memo.Stats()
-	fmt.Fprintf(w, "multisite_memo_requests_total %d\n", memoReq)
-	fmt.Fprintf(w, "multisite_memo_designs_total %d\n", memoMiss)
-	fmt.Fprintf(w, "multisite_memo_entries %d\n", s.memo.Len())
-	fmt.Fprintf(w, "multisite_sweep_rows_total %d\n", s.sweepRows.Load())
-	fmt.Fprintf(w, "multisite_compute_inflight %d\n", s.inflight.Load())
-	fmt.Fprintf(w, "multisite_compute_budget %d\n", cap(s.sem))
 }
 
 // decodeJSON reads the request body strictly; on failure it writes the
