@@ -7,13 +7,16 @@
 // before the first request is sent: the same seed always replays the
 // same requests byte-for-byte, so two runs differ only in what the
 // server did with them. Traffic mixes hot cached optimizes, cold
-// inline-SOC uploads, streaming sweeps, and /v1/compare calls (see
-// internal/loadgen for the class definitions).
+// inline-SOC uploads, streaming sweeps, /v1/compare calls, and
+// deadline-bounded portfolio optimizes that exercise graceful
+// degradation (see internal/loadgen for the class definitions).
 //
 //	serve -addr :8080 &
 //	loadgen -url http://localhost:8080 -rate 50 -duration 10s
 //	loadgen -url http://localhost:8080 -rate 200 -duration 30s \
 //	    -mix hot=0.7,cold=0.1,sweep=0.1,compare=0.1 -seed 7
+//	loadgen -url http://localhost:8080 -rate 30 -duration 5s \
+//	    -mix hot=0.3,deadline=0.7 -min-degraded 1   # chaos/degradation drill
 //	loadgen -url http://localhost:8080 -dump-schedule   # inspect, don't run
 //
 // Alongside the human table, the run lands as a machine-readable
@@ -44,21 +47,22 @@ func main() {
 		rate     = flag.Float64("rate", 50, "arrival rate, requests per second")
 		duration = flag.Duration("duration", 10*time.Second, "schedule span")
 		seed     = flag.Int64("seed", 1, "schedule seed (same seed, same request bytes)")
-		mixFlag  = flag.String("mix", "", "traffic mix as class=weight pairs, e.g. hot=0.55,cold=0.2,sweep=0.1,compare=0.15 (empty = default mix)")
+		mixFlag  = flag.String("mix", "", "traffic mix as class=weight pairs, e.g. hot=0.55,cold=0.2,sweep=0.1,compare=0.15,deadline=0 (empty = default mix)")
 		socs     = flag.String("socs", "", "comma-separated benchmark SOCs for the hot pool (empty = d695)")
 		inflight = flag.Int("max-inflight", 0, "bound on concurrently outstanding requests (0 = 64)")
 		out      = flag.String("out", "", "JSON record path (default LOADGEN_<date>.json at the module root; \"-\" disables)")
 		noScrape = flag.Bool("no-scrape", false, "skip the /metrics scrape (non-multisite servers)")
 		dump     = flag.Bool("dump-schedule", false, "print the materialized schedule JSON and exit without sending traffic")
+		minDeg   = flag.Int("min-degraded", 0, "fail unless at least this many responses were degraded (asserts the degradation path was exercised)")
 	)
 	flag.Parse()
-	if err := run(*url, *rate, *duration, *seed, *mixFlag, *socs, *inflight, *out, *noScrape, *dump); err != nil {
+	if err := run(*url, *rate, *duration, *seed, *mixFlag, *socs, *inflight, *out, *noScrape, *dump, *minDeg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url string, rate float64, duration time.Duration, seed int64, mixFlag, socs string, inflight int, out string, noScrape, dump bool) error {
+func run(url string, rate float64, duration time.Duration, seed int64, mixFlag, socs string, inflight int, out string, noScrape, dump bool, minDegraded int) error {
 	mix, err := parseMix(mixFlag)
 	if err != nil {
 		return err
@@ -117,6 +121,15 @@ func run(url string, rate float64, duration time.Duration, seed int64, mixFlag, 
 	if res.Errors > 0 {
 		return fmt.Errorf("%d of %d requests failed", res.Errors, res.Total)
 	}
+	if minDegraded > 0 {
+		degraded := 0
+		for _, c := range res.Classes {
+			degraded += c.Degraded
+		}
+		if degraded < minDegraded {
+			return fmt.Errorf("%d degraded responses, want at least %d — the degradation path was not exercised", degraded, minDegraded)
+		}
+	}
 	return nil
 }
 
@@ -143,8 +156,10 @@ func parseMix(s string) (loadgen.Mix, error) {
 			mix.Sweep = w
 		case loadgen.ClassCompare:
 			mix.Compare = w
+		case loadgen.ClassDeadline:
+			mix.Deadline = w
 		default:
-			return mix, fmt.Errorf("unknown traffic class %q (want hot, cold, sweep, compare)", k)
+			return mix, fmt.Errorf("unknown traffic class %q (want hot, cold, sweep, compare, deadline)", k)
 		}
 	}
 	return mix, nil

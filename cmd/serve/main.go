@@ -15,7 +15,18 @@
 //	    -d '{"soc":"d695","channels":256,"depth":"64K"}'
 //	curl -sN -X POST localhost:8080/v1/sweep \
 //	    -d '{"soc":"pnx8550","depths":"5M:14M:1M","contact_yields":[1,0.999,0.99]}'
+//	curl -s -X POST localhost:8080/v1/optimize \
+//	    -d '{"soc":"d695","channels":256,"depth":"64K","solver":"portfolio","timeout_ms":250}'
 //	curl -s localhost:8080/metrics
+//
+// Deadline-bounded requests against the portfolio solver degrade
+// gracefully (200 with "degraded":true) instead of failing with 504;
+// per-backend circuit breakers shed load from persistently failing
+// backends. For chaos drills, -inject wraps a backend in a deterministic
+// fault schedule:
+//
+//	serve -addr :8081 -inject "exact=hang,repeat"
+//	serve -addr :8081 -inject "exact=delay:200ms,error,pass,repeat" -inject "heuristic=pass,panic"
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting (bounded by
 // -drain).
@@ -26,6 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"multisite/internal/faultinject"
 	"multisite/internal/server"
 	"multisite/internal/solve"
 )
@@ -46,14 +59,41 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request compute timeout (0 = none)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	)
+	plans := map[string]*faultinject.Plan{}
+	flag.Func("inject", "fault-injection plan as backend=schedule, e.g. exact=hang,repeat (repeatable; chaos testing only)", func(v string) error {
+		name, spec, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want backend=schedule, got %q", v)
+		}
+		if _, err := solve.Get(name); err != nil {
+			return err
+		}
+		plan, err := faultinject.ParsePlan(spec)
+		if err != nil {
+			return err
+		}
+		plans[name] = plan
+		return nil
+	})
 	flag.Parse()
 
-	s := server.New(server.Options{
+	opts := server.Options{
 		Workers:        *workers,
 		Concurrency:    *concurrency,
 		CacheCapacity:  *cacheCap,
 		RequestTimeout: *timeout,
-	})
+		Logf:           log.New(os.Stderr, "serve: ", log.LstdFlags).Printf,
+	}
+	if len(plans) > 0 {
+		opts.WrapSolver = func(name string, sv solve.Solver) solve.Solver {
+			if plan := plans[name]; plan != nil {
+				fmt.Fprintf(os.Stderr, "serve: CHAOS backend %q wrapped with fault plan %s\n", name, plan)
+				return faultinject.Wrap(sv, plan)
+			}
+			return sv
+		}
+	}
+	s := server.New(opts)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),

@@ -113,6 +113,17 @@ type Result struct {
 	// possible, and across site counts whose widening budgets produce
 	// the same architecture. Treat them as read-only.
 	Arches []*tam.Architecture
+
+	// Degraded marks a best-effort result produced under failure — an
+	// anytime solve that hit its deadline, or a portfolio whose stronger
+	// backend was unavailable — rather than a completed deterministic
+	// run. Degraded results are valid designs but must never be cached:
+	// retrying the same request later may produce a better answer.
+	Degraded bool
+	// Optimal marks a Step 1 wire count proven minimal by a completed
+	// exact search (directly, or by a portfolio whose exact leg finished
+	// or exhausted the lattice without beating the incumbent).
+	Optimal bool
 }
 
 // Optimize runs the two-step algorithm for the SOC under the configuration.

@@ -39,6 +39,11 @@ type Snapshot struct {
 	// architectures in tam's textual serialization format.
 	Step1Arch string `json:"step1_arch"`
 	BestArch  string `json:"best_arch"`
+	// Degraded and Optimal carry the result's anytime provenance
+	// (core.Result.Degraded/Optimal). omitempty keeps snapshots from
+	// completed deterministic runs byte-identical to earlier releases.
+	Degraded bool `json:"degraded,omitempty"`
+	Optimal  bool `json:"optimal,omitempty"`
 }
 
 // Snapshot captures the result under its design-time cost model.
@@ -63,6 +68,8 @@ func (r *Result) SnapshotUnder(cfg Config, curve, step1Curve []SiteEval, best Si
 		Step1Curve: step1Curve,
 		Gain:       CurveGain(step1Curve, curve, r.MaxSites),
 		Step1Arch:  r.Step1.WriteString(),
+		Degraded:   r.Degraded,
+		Optimal:    r.Optimal,
 	}
 	if best.Sites >= 1 && best.Sites <= len(r.Arches) {
 		s.BestArch = r.Arches[best.Sites-1].WriteString()

@@ -53,6 +53,21 @@ type Memo struct {
 	maxSize  int64 // 0 = unbounded
 	requests atomic.Int64
 	misses   atomic.Int64
+	resolver func(name string) (solve.Solver, error)
+}
+
+// SetResolver overrides the registry lookup DesignSolverCtx dispatches
+// through: the serving layer installs its per-server resolver so designs
+// run behind that server's circuit breakers and fault-injection wrappers
+// while the cache key keeps using the backend's canonical name. Set it
+// before the memo is shared across goroutines; nil restores solve.Get.
+func (m *Memo) SetResolver(r func(name string) (solve.Solver, error)) { m.resolver = r }
+
+func (m *Memo) resolve(name string) (solve.Solver, error) {
+	if m.resolver != nil {
+		return m.resolver(name)
+	}
+	return solve.Get(name)
 }
 
 // NewMemo returns an empty, unbounded memo — right for sweeps and
@@ -114,7 +129,7 @@ func (m *Memo) DesignCtx(ctx context.Context, s *soc.SOC, cfg core.Config) (*cor
 // name, so two backends' designs for one (SOC, ATE, TAM) never alias. An
 // unknown solver name errors immediately and is never cached.
 func (m *Memo) DesignSolverCtx(ctx context.Context, solver string, s *soc.SOC, cfg core.Config) (*core.Result, error) {
-	sv, err := solve.Get(solver)
+	sv, err := m.resolve(solver)
 	if err != nil {
 		return nil, err
 	}
@@ -137,9 +152,12 @@ func (m *Memo) DesignSolverCtx(ctx context.Context, solver string, s *soc.SOC, c
 				m.size.Add(1)
 				m.misses.Add(1)
 				e.res, e.err = sv.Solve(ctx, s, designConfig(cfg))
-				if isCancellation(e.err) {
-					// Do not cache a cancellation: it reflects this
-					// request's deadline, not the design's feasibility.
+				if uncacheable(e.res, e.err) {
+					// Do not cache a cancellation (it reflects this
+					// request's deadline), a transient backend failure
+					// (an open breaker or injected fault outlives its
+					// cause when replayed), or a degraded best-effort
+					// result (a retry may do better).
 					if m.entries.CompareAndDelete(key, e) {
 						m.size.Add(-1)
 					}
@@ -171,6 +189,18 @@ func (m *Memo) DesignSolverCtx(ctx context.Context, solver string, s *soc.SOC, c
 
 func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// uncacheable reports whether a design outcome must not be memoized:
+// cancellations, transient backend failures, and degraded best-effort
+// results all reflect the moment they were computed, not the scenario.
+// Waiters joined to an uncacheable compute still share its outcome
+// (cancellations retry instead); only future lookups recompute.
+func uncacheable(res *core.Result, err error) bool {
+	if err != nil {
+		return isCancellation(err) || errors.Is(err, solve.ErrTransient)
+	}
+	return res != nil && res.Degraded
 }
 
 // Stats reports the memo's request and design counts: hits = requests −

@@ -19,6 +19,7 @@ package exact
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"multisite/internal/ate"
@@ -51,8 +52,37 @@ func (s *Solution) Channels() int { return 2 * s.Wires }
 // cancelCheckInterval is how many recurse entries pass between context
 // polls: rare enough that the atomic-free counter check stays invisible
 // in profiles, frequent enough that cancellation lands within
-// microseconds on any lattice worth pruning.
+// microseconds on any lattice worth pruning. An external incumbent bound
+// (Options.Bound) is refreshed at the same cadence.
 const cancelCheckInterval = 1024
+
+// Bound supplies a dynamic exclusive upper bound on total wires from
+// outside the search — an incumbent another solver already holds. Bound
+// must be safe for concurrent use and monotone non-increasing over a
+// search's lifetime; 0 means no bound yet. solve.Incumbent satisfies it.
+type Bound interface {
+	Bound() int
+}
+
+// Options tune SolveWith beyond the plain branch-and-bound.
+type Options struct {
+	// Bound seeds (and keeps tightening) the pruning incumbent with an
+	// external wire count: any partition costing >= Bound() is pruned even
+	// before the search finds its own first leaf. Because the partial cost
+	// is monotone, injecting a valid upper bound never changes the
+	// completed search's answer — it only shrinks the explored lattice.
+	Bound Bound
+	// OnImproving, when non-nil, receives each complete solution that
+	// improves on the incumbent, in strictly improving order, on the
+	// searching goroutine. The Solution is immutable once delivered.
+	OnImproving func(*Solution)
+}
+
+// ErrNoImprovement reports a search that exhausted the partition lattice
+// without beating the external incumbent bound: the incumbent is proven
+// wire-optimal (no partition costs fewer wires than Bound()). Only
+// returned when Options.Bound was set and active.
+var ErrNoImprovement = errors.New("exact: search exhausted without improving on the incumbent bound")
 
 type solver struct {
 	d        *wrapper.Designer
@@ -60,15 +90,41 @@ type solver struct {
 	depth    int64
 	maxWires int
 	ctx      context.Context
+	extBound Bound
+	emit     func(*Solution)
 
 	// search state
 	blocks  [][]int // current partition blocks
 	widths  []int   // minimal feasible width per block
 	cost    int     // Σ widths
 	best    *Solution
+	ext     int // cached external bound, refreshed at the poll cadence
 	visited int
 	calls   int   // recurse entries since the last context poll
 	err     error // context error observed mid-search; unwinds the recursion
+}
+
+// refreshExt re-reads the external bound; cheap, but called only at the
+// context-poll cadence so a concurrent incumbent never contends with the
+// inner loop.
+func (sv *solver) refreshExt() {
+	if sv.extBound != nil {
+		sv.ext = sv.extBound.Bound()
+	}
+}
+
+// pruneBound is the current exclusive upper bound on acceptable cost: the
+// tighter of the search's own incumbent and the external bound; 0 means
+// unbounded so far.
+func (sv *solver) pruneBound() int {
+	b := 0
+	if sv.best != nil {
+		b = sv.best.Wires
+	}
+	if sv.ext > 0 && (b == 0 || sv.ext < b) {
+		b = sv.ext
+	}
+	return b
 }
 
 // Solve finds the minimum-wire channel-group design of the SOC on the
@@ -83,6 +139,16 @@ func Solve(s *soc.SOC, target ate.ATE) (*Solution, error) {
 // promptly. A cancelled search returns the context's error and no partial
 // solution.
 func SolveCtx(ctx context.Context, s *soc.SOC, target ate.ATE) (*Solution, error) {
+	return SolveWith(ctx, s, target, Options{})
+}
+
+// SolveWith is SolveCtx with anytime hooks: an external incumbent bound
+// that makes pruning bite from the first node, and a callback streaming
+// each improving solution as the search lands on it. With an active bound
+// and no partition beating it, the search returns ErrNoImprovement — a
+// completed proof that the incumbent is wire-optimal, distinguishable
+// from genuine infeasibility.
+func SolveWith(ctx context.Context, s *soc.SOC, target ate.ATE, opts Options) (*Solution, error) {
 	if err := target.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,7 +172,10 @@ func SolveCtx(ctx context.Context, s *soc.SOC, target ate.ATE) (*Solution, error
 		depth:    target.Depth,
 		maxWires: target.Channels / 2,
 		ctx:      ctx,
+		extBound: opts.Bound,
+		emit:     opts.OnImproving,
 	}
+	sv.refreshExt()
 	// Feasibility of each module alone bounds the whole search.
 	for _, mi := range modules {
 		if _, ok := sv.d.MinWidth(mi, target.Depth, sv.maxWires); !ok {
@@ -119,6 +188,10 @@ func SolveCtx(ctx context.Context, s *soc.SOC, target ate.ATE) (*Solution, error
 		return nil, sv.err
 	}
 	if sv.best == nil {
+		sv.refreshExt()
+		if sv.ext > 0 {
+			return nil, ErrNoImprovement
+		}
 		return nil, fmt.Errorf("exact: no feasible partition within %d wires", sv.maxWires)
 	}
 	sv.best.Visited = sv.visited
@@ -169,8 +242,9 @@ func (sv *solver) recurse(i int) {
 			sv.err = err
 			return
 		}
+		sv.refreshExt()
 	}
-	if sv.best != nil && sv.cost >= sv.best.Wires {
+	if b := sv.pruneBound(); b > 0 && sv.cost >= b {
 		return // partial cost only grows as modules are added
 	}
 	if i == len(sv.modules) {
@@ -193,6 +267,9 @@ func (sv *solver) recurse(i int) {
 		if sv.best == nil || sol.Wires < sv.best.Wires ||
 			(sol.Wires == sv.best.Wires && sol.TestCycles < sv.best.TestCycles) {
 			sv.best = sol
+			if sv.emit != nil {
+				sv.emit(sol)
+			}
 		}
 		return
 	}

@@ -20,9 +20,14 @@
 //	cold    — POST /v1/optimize uploading a fresh synthetic SOC
 //	          (soc_text) per request: content-addressed keys never
 //	          repeat, so every request runs a real Step 1+2 design.
-//	sweep   — POST /v1/sweep streaming a small NDJSON grid: the
-//	          long-lived streaming path.
-//	compare — POST /v1/compare racing two backends: the fan-out path.
+//	sweep    — POST /v1/sweep streaming a small NDJSON grid: the
+//	           long-lived streaming path.
+//	compare  — POST /v1/compare racing two backends: the fan-out path.
+//	deadline — POST /v1/optimize with solver=portfolio and a tight
+//	           timeout_ms against an adversarial chip the exact backend
+//	           cannot finish in time: the graceful-degradation path.
+//	           Responses are expected to come back 200 with X-Degraded,
+//	           and are never cached.
 //
 // The report (Result) gives per-class p50/p90/p99 latency,
 // responses/sec, error counts, and the server-side cache hit rate
@@ -35,6 +40,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"multisite/internal/benchdata"
@@ -47,22 +53,27 @@ import (
 type Class string
 
 const (
-	ClassHot     Class = "hot"
-	ClassCold    Class = "cold"
-	ClassSweep   Class = "sweep"
-	ClassCompare Class = "compare"
+	ClassHot      Class = "hot"
+	ClassCold     Class = "cold"
+	ClassSweep    Class = "sweep"
+	ClassCompare  Class = "compare"
+	ClassDeadline Class = "deadline"
 )
 
-// Classes lists every class in report order.
-var Classes = []Class{ClassHot, ClassCold, ClassSweep, ClassCompare}
+// Classes lists every class in report order. ClassDeadline stays last:
+// drawClass walks this slice subtracting weights, so appending (rather
+// than inserting) keeps schedules for pre-deadline mixes byte-identical
+// under the same seed.
+var Classes = []Class{ClassHot, ClassCold, ClassSweep, ClassCompare, ClassDeadline}
 
 // Mix is the traffic composition as relative weights; they need not sum
 // to 1. A zero-valued Mix means DefaultMix.
 type Mix struct {
-	Hot     float64 `json:"hot"`
-	Cold    float64 `json:"cold"`
-	Sweep   float64 `json:"sweep"`
-	Compare float64 `json:"compare"`
+	Hot      float64 `json:"hot"`
+	Cold     float64 `json:"cold"`
+	Sweep    float64 `json:"sweep"`
+	Compare  float64 `json:"compare"`
+	Deadline float64 `json:"deadline,omitempty"`
 }
 
 // DefaultMix leans on the hot path the way a cache-friendly production
@@ -70,7 +81,7 @@ type Mix struct {
 // percentile window.
 var DefaultMix = Mix{Hot: 0.55, Cold: 0.20, Sweep: 0.10, Compare: 0.15}
 
-func (m Mix) total() float64 { return m.Hot + m.Cold + m.Sweep + m.Compare }
+func (m Mix) total() float64 { return m.Hot + m.Cold + m.Sweep + m.Compare + m.Deadline }
 
 func (m Mix) weight(c Class) float64 {
 	switch c {
@@ -82,6 +93,8 @@ func (m Mix) weight(c Class) float64 {
 		return m.Sweep
 	case ClassCompare:
 		return m.Compare
+	case ClassDeadline:
+		return m.Deadline
 	}
 	return 0
 }
@@ -144,6 +157,13 @@ var coldSpec = benchdata.GenSpec{LogicCores: 6, MemoryCores: 2, TargetArea: 1 <<
 
 const coldDepth cli.Size = 4 << 20
 
+// adversarialSOC memoizes the serialized benchdata.Adversarial chip:
+// every deadline request uploads the same SOC text (the class measures
+// degradation, not parsing variety), so serialize it once per process.
+var adversarialSOC = sync.OnceValue(func() string {
+	return soc.WriteString(benchdata.Adversarial())
+})
+
 // BuildSchedule materializes the deterministic request schedule for the
 // given options. Arrivals are evenly spaced at 1/Rate with a ±30% seeded
 // jitter (still strictly increasing), classes are drawn from the mix
@@ -160,7 +180,7 @@ func BuildSchedule(opts ScheduleOptions) (*Schedule, error) {
 	if mix == (Mix{}) {
 		mix = DefaultMix
 	}
-	if mix.total() <= 0 || mix.Hot < 0 || mix.Cold < 0 || mix.Sweep < 0 || mix.Compare < 0 {
+	if mix.total() <= 0 || mix.Hot < 0 || mix.Cold < 0 || mix.Sweep < 0 || mix.Compare < 0 || mix.Deadline < 0 {
 		return nil, fmt.Errorf("loadgen: mix weights must be non-negative with a positive sum: %+v", mix)
 	}
 	socs := opts.SOCs
@@ -270,6 +290,20 @@ func buildBody(rng *rand.Rand, class Class, socs []string, seed int64, index int
 			// explodes on big SOCs, which would measure the backend, not
 			// the serving layer.
 			Solvers: []string{"heuristic", "baseline"},
+		}
+		return json.Marshal(req)
+	case ClassDeadline:
+		// The adversarial chip at a dense ATE: exact needs ~1s, far past
+		// the 400ms budget, so the portfolio must degrade gracefully.
+		// Folding the index into the depth spreads requests across
+		// distinct cache keys — degraded results are never cached, and
+		// this keeps any completed ones from masking that with byte hits.
+		req := server.ScenarioRequest{
+			SOCText:   adversarialSOC(),
+			Channels:  256,
+			Depth:     cli.Size(16000 + index%16),
+			Solver:    "portfolio",
+			TimeoutMS: 400,
 		}
 		return json.Marshal(req)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -88,8 +89,59 @@ func TestScheduleShape(t *testing.T) {
 			if r.Path != "/v1/compare" || !strings.Contains(string(r.Body), `"solvers"`) {
 				t.Errorf("compare request malformed: %s %s", r.Path, r.Body)
 			}
+		case ClassDeadline:
+			if r.Path != "/v1/optimize" || !strings.Contains(string(r.Body), `"portfolio"`) {
+				t.Errorf("deadline request malformed: %s %s", r.Path, r.Body)
+			}
 		default:
 			t.Errorf("unknown class %q", r.Class)
+		}
+	}
+}
+
+// TestScheduleDeadlineClass: deadline requests target /v1/optimize with
+// the portfolio solver, a tight timeout, and an inline adversarial SOC;
+// depths rotate so bodies spread over distinct cache keys. Appending the
+// class must not perturb the draw sequence of pre-existing mixes: a
+// schedule built with the default mix (deadline weight 0) contains no
+// deadline requests.
+func TestScheduleDeadlineClass(t *testing.T) {
+	mix := Mix{Deadline: 1}
+	sched, err := BuildSchedule(ScheduleOptions{Seed: 9, Rate: 40, Duration: time.Second, Mix: mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depths := map[string]bool{}
+	for _, r := range sched.Requests {
+		if r.Class != ClassDeadline {
+			t.Fatalf("pure deadline mix produced class %q", r.Class)
+		}
+		var req server.ScenarioRequest
+		if err := json.Unmarshal(r.Body, &req); err != nil {
+			t.Fatalf("deadline body does not parse: %v", err)
+		}
+		if req.Solver != "portfolio" {
+			t.Errorf("request %d solver = %q, want portfolio", r.Index, req.Solver)
+		}
+		if req.TimeoutMS <= 0 {
+			t.Errorf("request %d has no timeout", r.Index)
+		}
+		if req.SOCText == "" {
+			t.Errorf("request %d missing inline soc_text", r.Index)
+		}
+		depths[fmt.Sprintf("%d", int64(req.Depth))] = true
+	}
+	if len(depths) < 2 {
+		t.Errorf("deadline depths do not rotate: %v", depths)
+	}
+
+	def, err := BuildSchedule(ScheduleOptions{Seed: 9, Rate: 40, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range def.Requests {
+		if r.Class == ClassDeadline {
+			t.Fatal("default mix scheduled a deadline request")
 		}
 	}
 }
@@ -182,7 +234,7 @@ func TestRunEndToEnd(t *testing.T) {
 		}
 	}
 	for _, c := range Classes {
-		if !seen[c] {
+		if sched.Mix.weight(c) > 0 && !seen[c] {
 			t.Errorf("class %s absent from the report", c)
 		}
 	}

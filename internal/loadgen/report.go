@@ -11,14 +11,18 @@ import (
 // per traffic class, then the run-wide throughput and cache lines.
 func (r *Result) WriteTable(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "class\tcount\terrors\thits\tp50 ms\tp90 ms\tp99 ms\tmean ms\tmax ms")
+	fmt.Fprintln(tw, "class\tcount\terrors\tdegraded\thits\tp50 ms\tp90 ms\tp99 ms\tmean ms\tmax ms")
 	for _, c := range r.Classes {
 		hits := "-"
 		if c.CacheHits+c.CacheMisses > 0 {
 			hits = fmt.Sprintf("%d/%d", c.CacheHits, c.CacheHits+c.CacheMisses)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
-			c.Class, c.Count, c.Errors, hits, c.P50Ms, c.P90Ms, c.P99Ms, c.MeanMs, c.MaxMs)
+		degraded := "-"
+		if c.Degraded > 0 {
+			degraded = fmt.Sprintf("%d", c.Degraded)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			c.Class, c.Count, c.Errors, degraded, hits, c.P50Ms, c.P90Ms, c.P99Ms, c.MeanMs, c.MaxMs)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -28,6 +32,10 @@ func (r *Result) WriteTable(w io.Writer) error {
 	if r.Server.Scraped {
 		fmt.Fprintf(w, "server cache: %d hits + %d dedups / %d computes — hit rate %.1f%%\n",
 			r.Server.CacheHits, r.Server.CacheDedups, r.Server.CacheComputes, 100*r.Server.HitRate)
+		if r.Server.Degraded > 0 || r.Server.BreakerTrips > 0 || r.Server.BreakerRejects > 0 {
+			fmt.Fprintf(w, "server resilience: %d degraded responses, %d breaker trips, %d breaker rejects\n",
+				r.Server.Degraded, r.Server.BreakerTrips, r.Server.BreakerRejects)
+		}
 	}
 	return nil
 }

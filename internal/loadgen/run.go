@@ -37,6 +37,9 @@ type sample struct {
 	err     bool
 	// cache is "hit", "miss", or "" (endpoint does not report X-Cache).
 	cache string
+	// degraded is true when the response carried X-Degraded: a 200 whose
+	// result is best-effort (deadline hit before the exact leg finished).
+	degraded bool
 }
 
 // ClassReport aggregates one traffic class of a finished run. Latency
@@ -51,6 +54,10 @@ type ClassReport struct {
 	// header (the /v1/optimize byte cache); other endpoints leave both 0.
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
+
+	// Degraded counts 200 responses carrying X-Degraded — best-effort
+	// results a deadline-bounded portfolio returned instead of a 504.
+	Degraded int `json:"degraded,omitempty"`
 
 	P50Ms  float64 `json:"p50_ms"`
 	P90Ms  float64 `json:"p90_ms"`
@@ -68,6 +75,15 @@ type ServerStats struct {
 	CacheDedups   int64   `json:"cache_dedups"`
 	CacheComputes int64   `json:"cache_computes"`
 	HitRate       float64 `json:"cache_hit_rate"`
+	// Degraded is the server-side count of degraded 200s over the run
+	// (multisite_degraded_responses_total).
+	Degraded int64 `json:"degraded,omitempty"`
+	// BreakerTrips sums circuit-breaker open transitions across backends
+	// over the run (multisite_breaker_trips_total, all labels).
+	BreakerTrips int64 `json:"breaker_trips,omitempty"`
+	// BreakerRejects sums calls rejected by open breakers across
+	// backends over the run (multisite_breaker_rejects_total).
+	BreakerRejects int64 `json:"breaker_rejects,omitempty"`
 }
 
 // Result is a finished run's report.
@@ -193,6 +209,7 @@ func send(ctx context.Context, client *http.Client, base string, r *Request) sam
 		return s
 	}
 	s.cache = resp.Header.Get("X-Cache")
+	s.degraded = resp.Header.Get("X-Degraded") == "true"
 	return s
 }
 
@@ -229,6 +246,9 @@ func aggregate(sched *Schedule, samples []sample, elapsed time.Duration) *Result
 				cr.CacheHits++
 			case "miss":
 				cr.CacheMisses++
+			}
+			if s.degraded {
+				cr.Degraded++
 			}
 		}
 		ok += len(lat)
@@ -268,10 +288,13 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// metricsSnapshot holds the unlabeled counter values loadgen reads from
-// /metrics.
+// metricsSnapshot holds the counter values loadgen reads from /metrics.
+// trips and rejects are the labeled per-backend breaker counters summed
+// across backends.
 type metricsSnapshot struct {
 	hits, dedups, computes int64
+	degraded               int64
+	trips, rejects         int64
 }
 
 func scrapeMetrics(ctx context.Context, client *http.Client, base string) (metricsSnapshot, error) {
@@ -308,6 +331,15 @@ func scrapeMetrics(ctx context.Context, client *http.Client, base string) (metri
 			snap.dedups = v
 		case "multisite_cache_computes_total":
 			snap.computes = v
+		case "multisite_degraded_responses_total":
+			snap.degraded = v
+		}
+		// The breaker counters are labeled per backend; sum the labels.
+		switch {
+		case strings.HasPrefix(fields[0], "multisite_breaker_trips_total{"):
+			snap.trips += v
+		case strings.HasPrefix(fields[0], "multisite_breaker_rejects_total{"):
+			snap.rejects += v
 		}
 	}
 	return snap, nil
@@ -315,10 +347,13 @@ func scrapeMetrics(ctx context.Context, client *http.Client, base string) (metri
 
 func diffMetrics(before, after metricsSnapshot) ServerStats {
 	st := ServerStats{
-		Scraped:       true,
-		CacheHits:     after.hits - before.hits,
-		CacheDedups:   after.dedups - before.dedups,
-		CacheComputes: after.computes - before.computes,
+		Scraped:        true,
+		CacheHits:      after.hits - before.hits,
+		CacheDedups:    after.dedups - before.dedups,
+		CacheComputes:  after.computes - before.computes,
+		Degraded:       after.degraded - before.degraded,
+		BreakerTrips:   after.trips - before.trips,
+		BreakerRejects: after.rejects - before.rejects,
 	}
 	if total := st.CacheHits + st.CacheDedups + st.CacheComputes; total > 0 {
 		st.HitRate = float64(st.CacheHits+st.CacheDedups) / float64(total)

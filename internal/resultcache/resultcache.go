@@ -59,6 +59,10 @@ type Cache struct {
 	dedups    atomic.Int64 // joined another request's in-flight compute
 	evictions atomic.Int64
 	failures  atomic.Int64 // computes that returned an error (not cached)
+
+	// uncacheable counts DoCond computes that succeeded but declined to
+	// store their value (store=false) — served once, never cached.
+	uncacheable atomic.Int64
 }
 
 type shard struct {
@@ -115,6 +119,20 @@ func (c *Cache) shardFor(key string) *shard {
 // (false). A caller whose ctx expires while waiting unblocks with the
 // context's error; the compute keeps running for the others.
 func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Context) ([]byte, error)) (val []byte, hit bool, err error) {
+	return c.DoCond(ctx, key, func(ctx context.Context) ([]byte, bool, error) {
+		v, err := compute(ctx)
+		return v, true, err
+	})
+}
+
+// DoCond is Do for computes that can mark their own value non-cacheable:
+// compute returns (value, store, error), and store=false delivers the
+// value to this caller and any waiters joined to the in-flight entry but
+// never links it into the cache — the next request for the key
+// recomputes. The serving layer uses it to keep degraded (deadline-cut)
+// results out of the content-addressed tier: a timeout must not poison
+// the entry a later, healthier request would otherwise be served from.
+func (c *Cache) DoCond(ctx context.Context, key string, compute func(ctx context.Context) ([]byte, bool, error)) (val []byte, hit bool, err error) {
 	sh := c.shardFor(key)
 	for {
 		sh.mu.Lock()
@@ -167,13 +185,20 @@ func (c *Cache) Do(ctx context.Context, key string, compute func(ctx context.Con
 			c.failures.Add(1)
 			close(e.done)
 		}()
-		e.val, e.err = compute(ctx)
+		var store bool
+		e.val, store, e.err = compute(ctx)
 		finished = true
 
 		sh.mu.Lock()
 		if e.err != nil {
 			delete(sh.entries, key)
 			c.failures.Add(1)
+		} else if !store {
+			// The compute disowned its own value (degraded result):
+			// deliver it to this caller and the joined waiters, but unlink
+			// the entry so the next request recomputes.
+			delete(sh.entries, key)
+			c.uncacheable.Add(1)
 		} else {
 			e.elem = sh.lru.PushFront(e)
 			for sh.lru.Len() > sh.cap {
@@ -226,6 +251,9 @@ type Stats struct {
 	// Evictions counts completed entries dropped by the LRU bound;
 	// Failures counts computes that errored (never cached).
 	Evictions, Failures int64
+	// Uncacheable counts successful computes that declined storage via
+	// DoCond (degraded results the serving layer refuses to cache).
+	Uncacheable int64
 	// Entries is the current completed-entry count.
 	Entries int
 }
@@ -233,11 +261,12 @@ type Stats struct {
 // Stats returns the current counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:      c.hits.Load(),
-		Dedups:    c.dedups.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Failures:  c.failures.Load(),
-		Entries:   c.Len(),
+		Hits:        c.hits.Load(),
+		Dedups:      c.dedups.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Failures:    c.failures.Load(),
+		Uncacheable: c.uncacheable.Load(),
+		Entries:     c.Len(),
 	}
 }

@@ -228,3 +228,83 @@ func TestStressExactlyOnceRace(t *testing.T) {
 		t.Errorf("hits+dedups+misses = %d, want %d", total, goroutines*rounds)
 	}
 }
+
+func TestDoCondUncacheable(t *testing.T) {
+	c := New(Options{})
+	computes := 0
+	compute := func(context.Context) ([]byte, bool, error) {
+		computes++
+		return []byte(fmt.Sprintf("v%d", computes)), false, nil
+	}
+	v, hit, err := c.DoCond(bg(), "k", compute)
+	if err != nil || hit || string(v) != "v1" {
+		t.Fatalf("first DoCond = (%q, hit=%v, %v)", v, hit, err)
+	}
+	// store=false: the value was served but never linked — the next
+	// request recomputes.
+	v, hit, err = c.DoCond(bg(), "k", compute)
+	if err != nil || hit || string(v) != "v2" {
+		t.Fatalf("second DoCond = (%q, hit=%v, %v)", v, hit, err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("uncacheable values linked into the cache: len=%d", c.Len())
+	}
+	st := c.Stats()
+	if st.Uncacheable != 2 || st.Misses != 2 || st.Hits != 0 || st.Failures != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// A store=true compute for the same key caches normally afterward.
+	v, hit, err = c.DoCond(bg(), "k", func(context.Context) ([]byte, bool, error) {
+		return []byte("kept"), true, nil
+	})
+	if err != nil || hit || string(v) != "kept" {
+		t.Fatalf("storing DoCond = (%q, hit=%v, %v)", v, hit, err)
+	}
+	if v, ok := c.Get("k"); !ok || string(v) != "kept" {
+		t.Fatalf("Get after storing compute = (%q, %v)", v, ok)
+	}
+}
+
+func TestDoCondWaitersShareUncacheableValue(t *testing.T) {
+	c := New(Options{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var joined atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.DoCond(bg(), "k", func(context.Context) ([]byte, bool, error) {
+			close(started)
+			<-release
+			return []byte("once"), false, nil
+		})
+	}()
+	<-started
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit, err := c.Do(bg(), "k", func(context.Context) ([]byte, error) {
+				t.Error("waiter recomputed while the uncacheable compute was in flight")
+				return nil, errors.New("unexpected")
+			})
+			if err != nil || !hit || string(v) != "once" {
+				t.Errorf("waiter = (%q, hit=%v, %v)", v, hit, err)
+			}
+			joined.Add(1)
+		}()
+	}
+	// Give the waiters a moment to join the in-flight entry, then finish.
+	for deadline := time.Now().Add(time.Second); c.Stats().Dedups < 4 && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if joined.Load() != 4 {
+		t.Errorf("joined = %d, want 4", joined.Load())
+	}
+	if c.Len() != 0 {
+		t.Errorf("uncacheable value cached: len=%d", c.Len())
+	}
+}

@@ -108,6 +108,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("multisite_cache_computes_total", "Result-cache requests that ran the compute function.", st.Misses)
 	counter("multisite_cache_evictions_total", "Result-cache entries evicted by the LRU bound.", st.Evictions)
 	counter("multisite_cache_failures_total", "Result-cache computes that returned an error (never cached).", st.Failures)
+	counter("multisite_cache_uncacheable_total", "Result-cache computes that succeeded but declined storage (degraded results).", st.Uncacheable)
 	gauge("multisite_cache_entries", "Result-cache entries currently stored.", int64(st.Entries))
 	memoReq, memoMiss := s.memo.Stats()
 	counter("multisite_memo_requests_total", "Design-memo lookups.", memoReq)
@@ -116,4 +117,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("multisite_sweep_rows_total", "Sweep NDJSON rows delivered.", s.sweepRows.Load())
 	gauge("multisite_compute_inflight", "Optimizations currently holding a compute slot.", s.inflight.Load())
 	gauge("multisite_compute_budget", "Server-wide concurrent-optimization budget.", int64(cap(s.sem)))
+	counter("multisite_client_cancels_total", "Requests whose client disconnected mid-compute (not server timeouts).", s.clientCancels.Load())
+	counter("multisite_degraded_responses_total", "200 responses carrying a degraded (best-effort, uncached) result.", s.degraded.Load())
+	counter("multisite_anytime_events_total", "NDJSON anytime events streamed.", s.anytimeEvents.Load())
+
+	// Per-backend circuit-breaker state: 0=closed, 1=open, 2=half-open.
+	snaps := s.breakers.Snapshots()
+	header("multisite_breaker_state", "Circuit-breaker state per backend (0=closed, 1=open, 2=half-open).", "gauge")
+	for _, b := range snaps {
+		fmt.Fprintf(w, "multisite_breaker_state{backend=%q} %d\n", b.Backend, int(b.State))
+	}
+	header("multisite_breaker_trips_total", "Circuit-breaker transitions into the open state, per backend.", "counter")
+	for _, b := range snaps {
+		fmt.Fprintf(w, "multisite_breaker_trips_total{backend=%q} %d\n", b.Backend, b.Trips)
+	}
+	header("multisite_breaker_rejects_total", "Calls rejected by an open circuit breaker, per backend.", "counter")
+	for _, b := range snaps {
+		fmt.Fprintf(w, "multisite_breaker_rejects_total{backend=%q} %d\n", b.Backend, b.Rejects)
+	}
 }

@@ -52,6 +52,7 @@ import (
 	"multisite/internal/benchdata"
 	"multisite/internal/core"
 	"multisite/internal/engine"
+	"multisite/internal/resilience"
 	"multisite/internal/resultcache"
 	"multisite/internal/soc"
 	"multisite/internal/solve"
@@ -88,6 +89,19 @@ type Options struct {
 	CacheCapacity int
 	// RequestTimeout caps one request's compute time; 0 means no limit.
 	RequestTimeout time.Duration
+	// Breaker tunes the per-backend circuit breakers every registry
+	// solver is served behind; the zero value takes the resilience
+	// defaults (16-call window, 3 consecutive deadlines, 5s cooldown).
+	Breaker resilience.Options
+	// WrapSolver, when set, wraps each registry backend as the server
+	// adopts it — the chaos hook the -inject flag uses to splice
+	// fault-injection schedules under the circuit breakers. The wrapper
+	// runs innermost (breaker outside), so injected faults count
+	// against the backend's breaker like organic ones.
+	WrapSolver func(name string, sv solve.Solver) solve.Solver
+	// Logf receives operational log lines (client cancellations,
+	// breaker transitions surfaced via metrics); nil means silent.
+	Logf func(format string, args ...any)
 }
 
 // Server holds the shared state of the serving layer. Create with New;
@@ -102,10 +116,21 @@ type Server struct {
 	socHashes map[string]string
 	names     []string
 
-	requests  map[string]*atomic.Int64 // endpoint -> count
-	durations map[string]*histogram    // endpoint -> latency histogram
-	sweepRows atomic.Int64
-	inflight  atomic.Int64
+	// breakers holds one circuit breaker per registry backend; solvers
+	// maps each backend's canonical name to its served instance —
+	// Options.WrapSolver innermost, the breaker outermost, and the
+	// portfolio rebuilt to race these wrapped instances (itself
+	// unwrapped: it degrades, it does not deadline).
+	breakers *resilience.Set
+	solvers  map[string]solve.Solver
+
+	requests      map[string]*atomic.Int64 // endpoint -> count
+	durations     map[string]*histogram    // endpoint -> latency histogram
+	sweepRows     atomic.Int64
+	inflight      atomic.Int64
+	clientCancels atomic.Int64 // requests abandoned by the client mid-compute
+	degraded      atomic.Int64 // 200 responses carrying a degraded result
+	anytimeEvents atomic.Int64 // NDJSON anytime events streamed
 }
 
 // New builds a server over the built-in benchmark SOCs.
@@ -129,6 +154,30 @@ func New(opts Options) *Server {
 		s.socs[name] = chip
 		s.socHashes[name] = chip.Hash()
 	}
+
+	// Adopt every registry backend behind its own circuit breaker, with
+	// the optional chaos wrapper underneath; the portfolio is rebuilt
+	// over the server's resolver so its raced legs inherit both layers,
+	// and is itself unwrapped — a portfolio leg hitting an open breaker
+	// or an injected fault degrades the result, it does not fail it.
+	s.breakers = resilience.NewSet(opts.Breaker)
+	s.solvers = make(map[string]solve.Solver)
+	for _, name := range solve.Names() {
+		if name == solve.PortfolioName {
+			continue
+		}
+		sv, err := solve.Get(name)
+		if err != nil {
+			continue
+		}
+		if opts.WrapSolver != nil {
+			sv = opts.WrapSolver(name, sv)
+		}
+		s.solvers[name] = resilience.Wrap(sv, s.breakers.For(name))
+	}
+	s.solvers[solve.PortfolioName] = solve.NewPortfolio(solve.PortfolioOptions{Resolve: s.solverFor})
+	s.memo.SetResolver(s.solverFor)
+
 	for _, ep := range []string{"optimize", "sweep", "compare", "solvers", "socs", "healthz", "metrics"} {
 		s.requests[ep] = &atomic.Int64{}
 		s.durations[ep] = &histogram{}
@@ -169,10 +218,39 @@ func (s *Server) release() {
 	<-s.sem
 }
 
-// requestCtx applies the per-request compute deadline.
-func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.opts.RequestTimeout > 0 {
-		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+// solverFor resolves a backend name to the server's served instance —
+// breaker-wrapped, chaos-wrapped — falling back to the registry for
+// names adopted after construction. It is the resolver both the design
+// memo and the portfolio dispatch through, so every compute path in the
+// process runs behind the same breakers.
+func (s *Server) solverFor(name string) (solve.Solver, error) {
+	if name == "" {
+		name = solve.DefaultName
+	}
+	if sv, ok := s.solvers[name]; ok {
+		return sv, nil
+	}
+	return solve.Get(name)
+}
+
+// logf emits one operational log line, if the server has a sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// requestCtx applies the per-request compute deadline: the tighter of
+// the server-wide RequestTimeout and the request's own timeout_ms.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	timeout := s.opts.RequestTimeout
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
 	}
 	return context.WithCancel(r.Context())
 }
@@ -204,7 +282,9 @@ func (s *Server) resolveSOC(req *ScenarioRequest) (*scenarioEnv, int, error) {
 		if err != nil {
 			return nil, http.StatusUnprocessableEntity, fmt.Errorf("soc_text: %v", err)
 		}
-		return &scenarioEnv{soc: chip, hash: chip.Hash(), memo: engine.NewMemo()}, 0, nil
+		memo := engine.NewMemo()
+		memo.SetResolver(s.solverFor)
+		return &scenarioEnv{soc: chip, hash: chip.Hash(), memo: memo}, 0, nil
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("specify soc (a benchmark name) or soc_text (inline ITC'02 text)")
 	}
@@ -236,21 +316,26 @@ func (s *Server) computeSnapshot(ctx context.Context, env *scenarioEnv, solver s
 		return nil, false, err
 	}
 	key := cacheKey(env.hash, solver, cfg)
-	return s.cache.Do(ctx, key, func(ctx context.Context) ([]byte, error) {
+	return s.cache.DoCond(ctx, key, func(ctx context.Context) ([]byte, bool, error) {
 		if err := s.acquire(ctx); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		defer s.release()
 		design, err := env.memo.DesignSolverCtx(ctx, solver, env.soc, cfg)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		curve, best := design.ReEvaluate(cfg)
 		step1Curve := make([]core.SiteEval, design.MaxSites)
 		for n := 1; n <= design.MaxSites; n++ {
 			step1Curve[n-1] = cfg.EvaluateAt(design.Step1, n)
 		}
-		return design.SnapshotUnder(cfg, curve, step1Curve, best).MarshalBytes()
+		data, err := design.SnapshotUnder(cfg, curve, step1Curve, best).MarshalBytes()
+		// A degraded design is served but never stored: the design memo
+		// already refused it, and caching its bytes here would pin a
+		// deadline-cut answer on a key that a later, uncut request would
+		// otherwise improve.
+		return data, !design.Degraded, err
 	})
 }
 
@@ -269,16 +354,111 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	ctx, cancel := s.requestCtx(r)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	if req.Anytime {
+		s.handleOptimizeAnytime(ctx, w, r, env, solver, req.Config())
+		return
+	}
 	data, cached, err := s.computeSnapshot(ctx, env, solver, req.Config())
 	if err != nil {
-		writeError(w, computeStatus(err), err)
+		writeError(w, s.computeStatus(r, err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cacheHeader(cached))
+	// The provenance flags ride in the response body; decoding the view
+	// (rather than threading flags through the cache) also covers
+	// waiters who joined another request's in-flight compute.
+	var view snapshotView
+	if json.Unmarshal(data, &view) == nil {
+		if view.Degraded {
+			w.Header().Set("X-Degraded", "true")
+			s.degraded.Add(1)
+		}
+		if view.Optimal {
+			w.Header().Set("X-Optimal", "true")
+		}
+	}
 	w.Write(data)
+}
+
+// handleOptimizeAnytime streams one optimization as NDJSON AnytimeEvents:
+// a light event per improving design as the backend (usually the
+// portfolio) finds them, then exactly one final event with the full
+// snapshot and the degraded/optimal provenance. The stream bypasses both
+// cache tiers — its value is watching the search move, and its improving
+// prefixes must never be mistaken for results — but holds a compute slot
+// like any other optimization.
+func (s *Server) handleOptimizeAnytime(ctx context.Context, w http.ResponseWriter, r *http.Request, env *scenarioEnv, solver string, cfg core.Config) {
+	cfg = cfg.Normalized()
+	if err := cfg.ATE.Validate(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if err := cfg.Probe.Validate(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	sv, err := s.solverFor(solver)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.acquire(ctx); err != nil {
+		writeError(w, s.computeStatus(r, err), err)
+		return
+	}
+	defer s.release()
+
+	flusher, _ := w.(http.Flusher)
+	var (
+		mu    sync.Mutex
+		seq   int
+		wrote bool
+	)
+	enc := json.NewEncoder(w)
+	emit := func(ev AnytimeEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		ev.Seq = seq
+		seq++
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Anytime", "true")
+			wrote = true
+		}
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		s.anytimeEvents.Add(1)
+	}
+
+	res, err := solve.SolveAnytimeOf(ctx, sv, env.soc, cfg, nil, func(r *core.Result) {
+		emit(AnytimeEvent{Wires: r.Step1.Wires(), TestCycles: r.Step1.TestCycles()})
+	})
+	if err != nil {
+		mu.Lock()
+		headersFree := !wrote
+		mu.Unlock()
+		if headersFree {
+			// Nothing streamed yet: a plain error response with a real
+			// status beats a 200 whose only line is an error event.
+			writeError(w, s.computeStatus(r, err), err)
+			return
+		}
+		emit(AnytimeEvent{Final: true, Error: err.Error()})
+		return
+	}
+	if res.Degraded {
+		s.degraded.Add(1)
+	}
+	emit(AnytimeEvent{
+		Wires: res.Step1.Wires(), TestCycles: res.Step1.TestCycles(),
+		Final: true, Degraded: res.Degraded, Optimal: res.Optimal,
+		Snapshot: res.Snapshot(),
+	})
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -308,7 +488,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := s.requestCtx(r)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -448,7 +628,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := s.requestCtx(r)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 	cfg := req.Config()
 	rows := make([]CompareRow, len(solvers))
@@ -459,7 +639,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if err := ctx.Err(); err != nil {
 		// The whole comparison shares one deadline; a partial table would
 		// silently misreport the slow backends.
-		writeError(w, computeStatus(err), err)
+		writeError(w, s.computeStatus(r, err), err)
 		return
 	}
 
@@ -498,6 +678,8 @@ func (s *Server) compareRow(ctx context.Context, env *scenarioEnv, solver string
 	row.Throughput = view.Best.Throughput
 	row.UniqueThroughput = view.Best.UniqueThroughput
 	row.GainOverStep1 = view.Gain
+	row.Degraded = view.Degraded
+	row.Optimal = view.Optimal
 	return row
 }
 
@@ -585,12 +767,29 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// computeStatus maps a compute failure to an HTTP status: deadline and
-// cancellation are the request's own timeout; everything else (an
-// infeasible scenario, a validation failure) is the client's input.
-func computeStatus(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before we could answer" — never actually delivered (the client is
+// gone), but it keeps abandoned requests out of the 504 books.
+const statusClientClosedRequest = 499
+
+// computeStatus maps a compute failure to an HTTP status. The client's
+// own departure is checked first — a cancelled request context also
+// cancels the compute, and accounting the resulting error as a server
+// timeout would let impatient clients masquerade as server degradation.
+// Then: the server's deadline is a 504; a transient backend failure (an
+// open breaker, an injected fault) is a 503, retryable by contract;
+// everything else is the client's input (422).
+func (s *Server) computeStatus(r *http.Request, err error) int {
+	if r.Context().Err() != nil {
+		s.clientCancels.Add(1)
+		s.logf("client closed request %s %s mid-compute: %v", r.Method, r.URL.Path, err)
+		return statusClientClosedRequest
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, solve.ErrTransient):
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusUnprocessableEntity
 }

@@ -30,6 +30,21 @@ type ScenarioRequest struct {
 	// means the default two-step heuristic.
 	Solver string `json:"solver,omitempty"`
 
+	// TimeoutMS caps this request's compute time in milliseconds; the
+	// effective deadline is the tighter of this and the server's
+	// request timeout. With the portfolio backend a deadline does not
+	// fail the request — it returns the best design found so far,
+	// marked degraded. Deliberately not a cache-key dimension: degraded
+	// results are never cached, and a completed result is independent
+	// of the deadline it beat.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// Anytime streams the optimization instead of answering once:
+	// the response becomes NDJSON, one AnytimeEvent per improving
+	// design, ending with a final event carrying the full snapshot.
+	// Only meaningful on /v1/optimize.
+	Anytime bool `json:"anytime,omitempty"`
+
 	Channels  int      `json:"channels,omitempty"`
 	Depth     cli.Size `json:"depth,omitempty"`
 	ClockHz   float64  `json:"clock_hz,omitempty"`
@@ -170,6 +185,12 @@ type SweepRow struct {
 	UniqueThroughput float64 `json:"unique_throughput,omitempty"`
 	GainOverStep1    float64 `json:"gain_over_step1,omitempty"`
 
+	// Degraded marks a best-effort row produced under a deadline or a
+	// backend failure (never cached); Optimal marks a proven-minimal
+	// Step 1 wire count.
+	Degraded bool `json:"degraded,omitempty"`
+	Optimal  bool `json:"optimal,omitempty"`
+
 	Error string `json:"error,omitempty"`
 }
 
@@ -183,6 +204,8 @@ type snapshotView struct {
 	MaxSites int           `json:"max_sites"`
 	Best     core.SiteEval `json:"best"`
 	Gain     float64       `json:"gain_over_step1"`
+	Degraded bool          `json:"degraded"`
+	Optimal  bool          `json:"optimal"`
 }
 
 // rowFromSnapshot projects an optimization snapshot onto a sweep row.
@@ -198,7 +221,27 @@ func rowFromSnapshot(index int, name string, snap *snapshotView) SweepRow {
 		Throughput:       snap.Best.Throughput,
 		UniqueThroughput: snap.Best.UniqueThroughput,
 		GainOverStep1:    snap.Gain,
+		Degraded:         snap.Degraded,
+		Optimal:          snap.Optimal,
 	}
+}
+
+// AnytimeEvent is one NDJSON line of an anytime /v1/optimize response
+// (ScenarioRequest.Anytime). Improving designs stream as light events —
+// sequence number, wires, fill — as the raced backends find them; the
+// stream ends with exactly one event with Final set, carrying either the
+// full snapshot (and the degraded/optimal provenance) or the error that
+// ended the run.
+type AnytimeEvent struct {
+	Seq        int   `json:"seq"`
+	Wires      int   `json:"wires,omitempty"`
+	TestCycles int64 `json:"test_cycles,omitempty"`
+
+	Final    bool           `json:"final,omitempty"`
+	Degraded bool           `json:"degraded,omitempty"`
+	Optimal  bool           `json:"optimal,omitempty"`
+	Snapshot *core.Snapshot `json:"snapshot,omitempty"`
+	Error    string         `json:"error,omitempty"`
 }
 
 // CompareRequest is the JSON body of POST /v1/compare: one scenario plus
@@ -231,6 +274,10 @@ type CompareRow struct {
 	Throughput       float64 `json:"throughput,omitempty"`
 	UniqueThroughput float64 `json:"unique_throughput,omitempty"`
 	GainOverStep1    float64 `json:"gain_over_step1,omitempty"`
+
+	// Degraded and Optimal carry the row's provenance, as in SweepRow.
+	Degraded bool `json:"degraded,omitempty"`
+	Optimal  bool `json:"optimal,omitempty"`
 
 	// Deltas are measured against the reference row: wires and sites as
 	// differences, throughput as a percentage of the reference's.

@@ -43,6 +43,47 @@ func (exactSolver) Solve(ctx context.Context, s *soc.SOC, cfg core.Config) (*cor
 	return core.BuildResult(ctx, s, cfg, arch)
 }
 
+// SolveAnytime is the anytime face of the branch-and-bound: the shared
+// incumbent seeds (and keeps tightening) the search's pruning bound, and
+// every improving partition is realized through the shared Step 2 and
+// handed to observe before the search continues. A search that exhausts
+// the lattice without beating the incumbent returns
+// exact.ErrNoImprovement — the portfolio reads that as an optimality
+// proof for the incumbent, not a failure.
+func (e exactSolver) SolveAnytime(ctx context.Context, s *soc.SOC, cfg core.Config, inc *Incumbent, observe func(*core.Result)) (*core.Result, error) {
+	opts := exact.Options{}
+	if inc != nil {
+		opts.Bound = inc
+	}
+	if observe != nil || inc != nil {
+		opts.OnImproving = func(sol *exact.Solution) {
+			if inc != nil {
+				inc.Tighten(sol.Wires)
+			}
+			if observe == nil {
+				return
+			}
+			arch := architectureOf(s, cfg.ATE.Depth, sol.Blocks, sol.Widths)
+			if res, err := core.BuildResult(ctx, s, cfg, arch); err == nil {
+				observe(res)
+			}
+		}
+	}
+	sol, err := exact.SolveWith(ctx, s, cfg.ATE, opts)
+	if err != nil {
+		return nil, err
+	}
+	arch := architectureOf(s, cfg.ATE.Depth, sol.Blocks, sol.Widths)
+	res, err := core.BuildResult(ctx, s, cfg, arch)
+	if err != nil {
+		return nil, err
+	}
+	if inc != nil {
+		inc.Tighten(res.Step1.Wires())
+	}
+	return res, nil
+}
+
 // architectureOf materializes explicit (block, width) assignments as a
 // channel-group architecture: one group per block, every member refit at
 // the block's width through the shared wrapper designer, so the result

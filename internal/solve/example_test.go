@@ -25,7 +25,7 @@ func ExampleGet() {
 	fmt.Println(err)
 	// Output:
 	// exact: exact=true, bound=12 modules
-	// solve: unknown solver "simplex" (valid: baseline, exact, heuristic)
+	// solve: unknown solver "simplex" (valid: baseline, exact, heuristic, portfolio)
 }
 
 // ExampleSolve runs one scenario through two backends and compares their

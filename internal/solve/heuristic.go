@@ -28,3 +28,21 @@ func (heuristicSolver) Info() Info {
 func (heuristicSolver) Solve(ctx context.Context, s *soc.SOC, cfg core.Config) (*core.Result, error) {
 	return core.OptimizeCtx(ctx, s, cfg)
 }
+
+// SolveAnytime runs the greedy design once (it has no internal improving
+// sequence worth streaming), then tightens the shared incumbent with its
+// wire count — which is what lets a racing exact search prune from the
+// first node — and reports the design to observe.
+func (h heuristicSolver) SolveAnytime(ctx context.Context, s *soc.SOC, cfg core.Config, inc *Incumbent, observe func(*core.Result)) (*core.Result, error) {
+	res, err := core.OptimizeCtx(ctx, s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if inc != nil {
+		inc.Tighten(res.Step1.Wires())
+	}
+	if observe != nil {
+		observe(res)
+	}
+	return res, nil
+}
