@@ -7,9 +7,11 @@
 // before the first request is sent: the same seed always replays the
 // same requests byte-for-byte, so two runs differ only in what the
 // server did with them. Traffic mixes hot cached optimizes, cold
-// inline-SOC uploads, streaming sweeps, /v1/compare calls, and
+// inline-SOC uploads, streaming sweeps, /v1/compare calls,
 // deadline-bounded portfolio optimizes that exercise graceful
-// degradation (see internal/loadgen for the class definitions).
+// degradation, and — against a serve running with -data-dir — durable
+// job submissions to /v1/jobs (see internal/loadgen for the class
+// definitions).
 //
 //	serve -addr :8080 &
 //	loadgen -url http://localhost:8080 -rate 50 -duration 10s
@@ -47,7 +49,7 @@ func main() {
 		rate     = flag.Float64("rate", 50, "arrival rate, requests per second")
 		duration = flag.Duration("duration", 10*time.Second, "schedule span")
 		seed     = flag.Int64("seed", 1, "schedule seed (same seed, same request bytes)")
-		mixFlag  = flag.String("mix", "", "traffic mix as class=weight pairs, e.g. hot=0.55,cold=0.2,sweep=0.1,compare=0.15,deadline=0 (empty = default mix)")
+		mixFlag  = flag.String("mix", "", "traffic mix as class=weight pairs, e.g. hot=0.55,cold=0.2,sweep=0.1,compare=0.15,deadline=0,jobs=0 (empty = default mix; jobs needs a serve -data-dir)")
 		socs     = flag.String("socs", "", "comma-separated benchmark SOCs for the hot pool (empty = d695)")
 		inflight = flag.Int("max-inflight", 0, "bound on concurrently outstanding requests (0 = 64)")
 		out      = flag.String("out", "", "JSON record path (default LOADGEN_<date>.json at the module root; \"-\" disables)")
@@ -158,8 +160,10 @@ func parseMix(s string) (loadgen.Mix, error) {
 			mix.Compare = w
 		case loadgen.ClassDeadline:
 			mix.Deadline = w
+		case loadgen.ClassJobs:
+			mix.Jobs = w
 		default:
-			return mix, fmt.Errorf("unknown traffic class %q (want hot, cold, sweep, compare, deadline)", k)
+			return mix, fmt.Errorf("unknown traffic class %q (want hot, cold, sweep, compare, deadline, jobs)", k)
 		}
 	}
 	return mix, nil

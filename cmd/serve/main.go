@@ -28,8 +28,29 @@
 //	serve -addr :8081 -inject "exact=hang,repeat"
 //	serve -addr :8081 -inject "exact=delay:200ms,error,pass,repeat" -inject "heuristic=pass,panic"
 //
+// With -data-dir the server gains its durable tier: computed results
+// spill to a crash-safe disk cache (corrupt entries are quarantined and
+// recomputed, never served), and POST /v1/jobs enqueues optimize/sweep/
+// compare work into a journaled worker pool that survives kill -9 —
+// accepted jobs resume on the next boot and /readyz holds traffic until
+// the journal replay finishes:
+//
+//	serve -addr :8080 -data-dir /var/lib/multisite -job-workers 4
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	    -d '{"type":"sweep","request":{"soc":"d695","depths":"1M:4M:1M"}}'
+//	curl -s localhost:8080/v1/jobs/j0000000001
+//	curl -sN localhost:8080/v1/jobs/j0000000001/result
+//
+// -inject-disk splices a deterministic disk-fault schedule (shortwrite,
+// eio, torn) under the disk cache and the job journal, mirroring what
+// -inject does to solver backends:
+//
+//	serve -data-dir /tmp/ms -inject-disk "shortwrite,pass,eio,repeat"
+//
 // SIGINT/SIGTERM drain in-flight requests before exiting (bounded by
-// -drain).
+// -drain), then stop the job worker pool cleanly: running jobs get a
+// progress checkpoint and the journal is fsynced before the process
+// exits, so the next boot resumes exactly what was accepted.
 package main
 
 import (
@@ -45,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"multisite/internal/diskcache"
 	"multisite/internal/faultinject"
 	"multisite/internal/server"
 	"multisite/internal/solve"
@@ -58,7 +80,18 @@ func main() {
 		cacheCap    = flag.Int("cache-entries", 0, "result cache capacity in entries (0 = default)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request compute timeout (0 = none)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		dataDir     = flag.String("data-dir", "", "durable-tier directory: disk cache + job journal (empty = in-memory only)")
+		jobWorkers  = flag.Int("job-workers", 0, "durable job worker pool size (0 = default; needs -data-dir)")
 	)
+	var diskPlan *faultinject.DiskPlan
+	flag.Func("inject-disk", "disk fault schedule, e.g. shortwrite,pass,eio,torn,repeat (chaos testing only; needs -data-dir)", func(v string) error {
+		plan, err := faultinject.ParseDiskPlan(v)
+		if err != nil {
+			return err
+		}
+		diskPlan = plan
+		return nil
+	})
 	plans := map[string]*faultinject.Plan{}
 	flag.Func("inject", "fault-injection plan as backend=schedule, e.g. exact=hang,repeat (repeatable; chaos testing only)", func(v string) error {
 		name, spec, ok := strings.Cut(v, "=")
@@ -82,7 +115,35 @@ func main() {
 		Concurrency:    *concurrency,
 		CacheCapacity:  *cacheCap,
 		RequestTimeout: *timeout,
+		DataDir:        *dataDir,
+		JobWorkers:     *jobWorkers,
 		Logf:           log.New(os.Stderr, "serve: ", log.LstdFlags).Printf,
+	}
+	if diskPlan != nil {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "serve: -inject-disk needs -data-dir")
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "serve: CHAOS durable tier wrapped with disk fault plan %s\n", diskPlan)
+		// Each physical operation draws one schedule step; a step whose
+		// fault cannot apply to that operation passes harmlessly.
+		opts.DiskInject = func(op diskcache.Op) diskcache.Fault {
+			switch diskPlan.Draw() {
+			case faultinject.DiskShortWrite:
+				if op == diskcache.OpWrite {
+					return diskcache.FaultShortWrite
+				}
+			case faultinject.DiskReadErr:
+				if op == diskcache.OpRead {
+					return diskcache.FaultReadErr
+				}
+			case faultinject.DiskTornRename:
+				if op == diskcache.OpRename {
+					return diskcache.FaultTornRename
+				}
+			}
+			return diskcache.FaultNone
+		}
 	}
 	if len(plans) > 0 {
 		opts.WrapSolver = func(name string, sv solve.Solver) solve.Solver {
@@ -93,7 +154,11 @@ func main() {
 			return sv
 		}
 	}
-	s := server.New(opts)
+	s, err := server.NewWithData(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
@@ -118,6 +183,14 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+			os.Exit(1)
+		}
+		// HTTP is drained; now stop the durable job layer under the same
+		// budget — running attempts stop, in-flight progress is
+		// checkpointed, and the journal is fsynced before exit, so the
+		// next boot resumes exactly what was accepted.
+		if err := s.Close(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: job layer shutdown:", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,56 @@
+package faultinject
+
+import "testing"
+
+func TestParseDiskPlan(t *testing.T) {
+	p, err := ParseDiskPlan("shortwrite, pass ,eio,torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []DiskMode{DiskShortWrite, DiskPass, DiskReadErr, DiskTornRename}
+	for i, m := range want {
+		if got := p.Draw(); got != m {
+			t.Errorf("step %d = %v, want %v", i, got, m)
+		}
+	}
+	// Non-repeating plans pass forever past the end.
+	for i := 0; i < 3; i++ {
+		if got := p.Draw(); got != DiskPass {
+			t.Errorf("past-end draw = %v, want pass", got)
+		}
+	}
+	if got := p.String(); got != "shortwrite,pass,eio,torn" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestParseDiskPlanRepeat(t *testing.T) {
+	p, err := ParseDiskPlan("eio,pass,repeat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []DiskMode{DiskReadErr, DiskPass, DiskReadErr, DiskPass, DiskReadErr}
+	for i, m := range want {
+		if got := p.Draw(); got != m {
+			t.Errorf("step %d = %v, want %v", i, got, m)
+		}
+	}
+}
+
+func TestParseDiskPlanErrors(t *testing.T) {
+	for _, s := range []string{"", "bogus", "repeat,eio", "shortwrite,,torn"} {
+		if _, err := ParseDiskPlan(s); err == nil {
+			t.Errorf("ParseDiskPlan(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestNilDiskPlanPasses(t *testing.T) {
+	var p *DiskPlan
+	if got := p.Draw(); got != DiskPass {
+		t.Errorf("nil plan Draw() = %v, want pass", got)
+	}
+	if got := p.String(); got != "pass" {
+		t.Errorf("nil plan String() = %q, want pass", got)
+	}
+}

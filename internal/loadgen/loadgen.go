@@ -28,6 +28,10 @@
 //	           cannot finish in time: the graceful-degradation path.
 //	           Responses are expected to come back 200 with X-Degraded,
 //	           and are never cached.
+//	jobs     — POST /v1/jobs enqueueing a durable sweep: the accept path
+//	           of the journaled job layer (validate, journal, fsync,
+//	           202). Needs a server running with -data-dir; the compute
+//	           happens in the worker pool after the response.
 //
 // The report (Result) gives per-class p50/p90/p99 latency,
 // responses/sec, error counts, and the server-side cache hit rate
@@ -58,13 +62,14 @@ const (
 	ClassSweep    Class = "sweep"
 	ClassCompare  Class = "compare"
 	ClassDeadline Class = "deadline"
+	ClassJobs     Class = "jobs"
 )
 
-// Classes lists every class in report order. ClassDeadline stays last:
-// drawClass walks this slice subtracting weights, so appending (rather
-// than inserting) keeps schedules for pre-deadline mixes byte-identical
-// under the same seed.
-var Classes = []Class{ClassHot, ClassCold, ClassSweep, ClassCompare, ClassDeadline}
+// Classes lists every class in report order. New classes append (rather
+// than insert): drawClass walks this slice subtracting weights, so
+// appending keeps schedules for pre-existing mixes byte-identical under
+// the same seed.
+var Classes = []Class{ClassHot, ClassCold, ClassSweep, ClassCompare, ClassDeadline, ClassJobs}
 
 // Mix is the traffic composition as relative weights; they need not sum
 // to 1. A zero-valued Mix means DefaultMix.
@@ -74,6 +79,7 @@ type Mix struct {
 	Sweep    float64 `json:"sweep"`
 	Compare  float64 `json:"compare"`
 	Deadline float64 `json:"deadline,omitempty"`
+	Jobs     float64 `json:"jobs,omitempty"`
 }
 
 // DefaultMix leans on the hot path the way a cache-friendly production
@@ -81,7 +87,9 @@ type Mix struct {
 // percentile window.
 var DefaultMix = Mix{Hot: 0.55, Cold: 0.20, Sweep: 0.10, Compare: 0.15}
 
-func (m Mix) total() float64 { return m.Hot + m.Cold + m.Sweep + m.Compare + m.Deadline }
+func (m Mix) total() float64 {
+	return m.Hot + m.Cold + m.Sweep + m.Compare + m.Deadline + m.Jobs
+}
 
 func (m Mix) weight(c Class) float64 {
 	switch c {
@@ -95,6 +103,8 @@ func (m Mix) weight(c Class) float64 {
 		return m.Compare
 	case ClassDeadline:
 		return m.Deadline
+	case ClassJobs:
+		return m.Jobs
 	}
 	return 0
 }
@@ -180,7 +190,7 @@ func BuildSchedule(opts ScheduleOptions) (*Schedule, error) {
 	if mix == (Mix{}) {
 		mix = DefaultMix
 	}
-	if mix.total() <= 0 || mix.Hot < 0 || mix.Cold < 0 || mix.Sweep < 0 || mix.Compare < 0 || mix.Deadline < 0 {
+	if mix.total() <= 0 || mix.Hot < 0 || mix.Cold < 0 || mix.Sweep < 0 || mix.Compare < 0 || mix.Deadline < 0 || mix.Jobs < 0 {
 		return nil, fmt.Errorf("loadgen: mix weights must be non-negative with a positive sum: %+v", mix)
 	}
 	socs := opts.SOCs
@@ -226,6 +236,8 @@ func classPath(c Class) string {
 		return "/v1/sweep"
 	case ClassCompare:
 		return "/v1/compare"
+	case ClassJobs:
+		return "/v1/jobs"
 	default:
 		return "/v1/optimize"
 	}
@@ -306,6 +318,21 @@ func buildBody(rng *rand.Rand, class Class, socs []string, seed int64, index int
 			TimeoutMS: 400,
 		}
 		return json.Marshal(req)
+	case ClassJobs:
+		// A durable sweep submission (needs a serve -data-dir): the 202
+		// measures the accept path — validate, journal, fsync — not the
+		// compute, which the worker pool runs after the response.
+		inner, err := json.Marshal(server.SweepRequest{
+			ScenarioRequest: server.ScenarioRequest{
+				SOC:      socs[rng.Intn(len(socs))],
+				Channels: hotChannels[rng.Intn(len(hotChannels))],
+			},
+			Depths: cli.SizeList{32 << 10, 48 << 10, 64 << 10},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(server.JobSubmitRequest{Type: "sweep", Request: inner})
 	}
 	return nil, fmt.Errorf("loadgen: unknown class %q", class)
 }

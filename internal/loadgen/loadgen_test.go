@@ -146,6 +146,45 @@ func TestScheduleDeadlineClass(t *testing.T) {
 	}
 }
 
+// TestScheduleJobsClass: jobs requests target /v1/jobs with a submit
+// envelope whose inner request is a valid sweep spec, and the class
+// never appears in mixes that do not ask for it.
+func TestScheduleJobsClass(t *testing.T) {
+	sched, err := BuildSchedule(ScheduleOptions{Seed: 13, Rate: 40, Duration: time.Second, Mix: Mix{Jobs: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sched.Requests {
+		if r.Class != ClassJobs || r.Path != "/v1/jobs" {
+			t.Fatalf("pure jobs mix produced %q %s", r.Class, r.Path)
+		}
+		var env server.JobSubmitRequest
+		if err := json.Unmarshal(r.Body, &env); err != nil {
+			t.Fatalf("jobs body does not parse: %v", err)
+		}
+		if env.Type != "sweep" {
+			t.Errorf("request %d type = %q, want sweep", r.Index, env.Type)
+		}
+		var inner server.SweepRequest
+		if err := json.Unmarshal(env.Request, &inner); err != nil {
+			t.Fatalf("inner sweep spec does not parse: %v", err)
+		}
+		if inner.SOC == "" || len(inner.Depths) == 0 {
+			t.Errorf("request %d inner spec incomplete: %s", r.Index, env.Request)
+		}
+	}
+
+	def, err := BuildSchedule(ScheduleOptions{Seed: 13, Rate: 40, Duration: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range def.Requests {
+		if r.Class == ClassJobs {
+			t.Fatal("default mix scheduled a jobs request")
+		}
+	}
+}
+
 // TestScheduleMixRatios draws a large schedule and checks every class
 // lands within an absolute tolerance of its weight. The draw is seeded,
 // so this never flakes; the ±3% bound at n=3000 (>3σ of binomial noise)
@@ -264,6 +303,48 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if back.Total != res.Total || len(back.Classes) != len(res.Classes) {
 		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+}
+
+// TestRunJobsClass replays a jobs-heavy mix against a durable server:
+// every 202 counts as a success, none as an error.
+func TestRunJobsClass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live replay")
+	}
+	srv, err := server.NewWithData(server.Options{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close(context.Background())
+
+	sched, err := BuildSchedule(ScheduleOptions{
+		Seed: 17, Rate: 60, Duration: 300 * time.Millisecond,
+		Mix: Mix{Hot: 0.5, Jobs: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), sched, RunOptions{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d errors in jobs replay", res.Errors)
+	}
+	found := false
+	for _, c := range res.Classes {
+		if c.Class == ClassJobs {
+			found = true
+			if c.Count == 0 || c.Errors != 0 {
+				t.Errorf("jobs class report = %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Error("jobs class absent from the report")
 	}
 }
 

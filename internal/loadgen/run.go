@@ -204,7 +204,9 @@ func send(ctx context.Context, client *http.Client, base string, r *Request) sam
 	_, copyErr := io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	s.latency = time.Since(start)
-	if copyErr != nil || resp.StatusCode != http.StatusOK {
+	// 202 is the jobs class's success: the submission was journaled and
+	// accepted; the compute happens after the response.
+	if copyErr != nil || (resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted) {
 		s.err = true
 		return s
 	}

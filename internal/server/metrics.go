@@ -121,6 +121,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("multisite_degraded_responses_total", "200 responses carrying a degraded (best-effort, uncached) result.", s.degraded.Load())
 	counter("multisite_anytime_events_total", "NDJSON anytime events streamed.", s.anytimeEvents.Load())
 
+	ready := int64(0)
+	if s.jobsReady() {
+		ready = 1
+	}
+	gauge("multisite_ready", "1 once the job journal replay has finished (readiness, as /readyz reports it).", ready)
+	if s.disk != nil {
+		dst := s.disk.Stats()
+		counter("multisite_diskcache_hits_total", "Disk-cache reads served from a verified entry.", dst.Hits)
+		counter("multisite_diskcache_misses_total", "Disk-cache reads of absent keys.", dst.Misses)
+		counter("multisite_diskcache_puts_total", "Disk-cache entries committed.", dst.Puts)
+		counter("multisite_diskcache_quarantined_total", "Corrupt disk-cache entries quarantined before they could be served.", dst.Quarantined)
+		counter("multisite_diskcache_read_errors_total", "Disk-cache reads that failed (EIO shapes; entries not condemned).", dst.ReadErrors)
+		counter("multisite_diskcache_write_errors_total", "Disk-cache puts that failed to commit.", dst.WriteErrors)
+		gauge("multisite_diskcache_entries", "Disk-cache entries currently on disk.", dst.Entries)
+	}
+	if s.jobMgr != nil {
+		jst := s.jobMgr.Stats()
+		counter("multisite_jobs_enqueued_total", "Jobs accepted (enqueue record fsynced).", jst.Enqueued)
+		counter("multisite_jobs_completed_total", "Jobs finished with a durable result.", jst.Completed)
+		counter("multisite_jobs_failed_total", "Jobs failed permanently.", jst.Failed)
+		counter("multisite_jobs_retried_total", "Transient-failure job re-runs.", jst.Retried)
+		counter("multisite_jobs_recovered_total", "Jobs re-enqueued by startup replay (interrupted, or completed with a lost blob).", jst.Recovered)
+		counter("multisite_jobs_checkpointed_total", "In-flight jobs checkpointed by graceful shutdown.", jst.Checkpointed)
+		counter("multisite_jobs_journal_corrupt_records_total", "Journal lines dropped by checksum or decode failure during replay.", jst.CorruptRecords)
+		gauge("multisite_jobs_running", "Job attempts currently executing.", jst.Running)
+		gauge("multisite_jobs_pending", "Jobs accepted and waiting for a worker.", jst.Pending)
+	}
+
 	// Per-backend circuit-breaker state: 0=closed, 1=open, 2=half-open.
 	snaps := s.breakers.Snapshots()
 	header("multisite_breaker_state", "Circuit-breaker state per backend (0=closed, 1=open, 2=half-open).", "gauge")

@@ -51,7 +51,9 @@ import (
 
 	"multisite/internal/benchdata"
 	"multisite/internal/core"
+	"multisite/internal/diskcache"
 	"multisite/internal/engine"
+	"multisite/internal/jobs"
 	"multisite/internal/resilience"
 	"multisite/internal/resultcache"
 	"multisite/internal/soc"
@@ -102,6 +104,29 @@ type Options struct {
 	// Logf receives operational log lines (client cancellations,
 	// breaker transitions surfaced via metrics); nil means silent.
 	Logf func(format string, args ...any)
+
+	// DataDir, when set, enables the durable tier under it: the disk
+	// cache (the L2 behind the in-memory resultcache, and the CAS job
+	// results live in) and the job journal. Empty means purely
+	// in-memory, as New has always built. Honored by NewWithData only.
+	DataDir string
+	// JobWorkers bounds the durable job pool; 0 means the jobs-package
+	// default (2).
+	JobWorkers int
+	// JobMaxAttempts caps execution attempts per job; 0 means the
+	// jobs-package default (4).
+	JobMaxAttempts int
+	// JobBackoff is the base retry delay for transient job failures,
+	// doubled per attempt; 0 means the jobs-package default (250ms).
+	JobBackoff time.Duration
+	// DiskInject, when set, draws one fault per physical disk operation
+	// under the disk cache and the job journal — the chaos hook the
+	// -inject-disk flag splices in (see faultinject.DiskPlan).
+	DiskInject func(op diskcache.Op) diskcache.Fault
+	// JobStallReplay, when non-nil, holds the job recovery pass (and so
+	// readiness) until the channel closes — a test hook for the
+	// not-ready window. Leave nil in production.
+	JobStallReplay <-chan struct{}
 }
 
 // Server holds the shared state of the serving layer. Create with New;
@@ -111,6 +136,12 @@ type Server struct {
 	memo  *engine.Memo
 	cache *resultcache.Cache
 	sem   chan struct{}
+
+	// disk is the persistent L2 behind the in-memory result cache, and
+	// the CAS job results live in; jobMgr is the durable job subsystem.
+	// Both are nil without a DataDir (see NewWithData).
+	disk   *diskcache.Cache
+	jobMgr *jobs.Manager
 
 	socs      map[string]*soc.SOC
 	socHashes map[string]string
@@ -178,7 +209,7 @@ func New(opts Options) *Server {
 	s.solvers[solve.PortfolioName] = solve.NewPortfolio(solve.PortfolioOptions{Resolve: s.solverFor})
 	s.memo.SetResolver(s.solverFor)
 
-	for _, ep := range []string{"optimize", "sweep", "compare", "solvers", "socs", "healthz", "metrics"} {
+	for _, ep := range []string{"optimize", "sweep", "compare", "solvers", "socs", "healthz", "readyz", "jobs", "metrics"} {
 		s.requests[ep] = &atomic.Int64{}
 		s.durations[ep] = &histogram{}
 	}
@@ -194,6 +225,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/solvers", s.instrument("solvers", s.handleSolvers))
 	mux.HandleFunc("GET /v1/socs", s.instrument("socs", s.handleSOCs))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /livez", s.instrument("healthz", s.handleLivez))
+	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("jobs", s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("jobs", s.handleJobResult))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
 }
@@ -317,6 +354,16 @@ func (s *Server) computeSnapshot(ctx context.Context, env *scenarioEnv, solver s
 	}
 	key := cacheKey(env.hash, solver, cfg)
 	return s.cache.DoCond(ctx, key, func(ctx context.Context) ([]byte, bool, error) {
+		// The disk tier is consulted inside the singleflight compute, so
+		// a thundering herd on a cold in-memory cache still reads the
+		// persisted bytes exactly once. Every read is checksum-verified;
+		// a corrupt entry is quarantined and reported as a miss, never
+		// served (diskcache.Get).
+		if s.disk != nil {
+			if data, ok := s.disk.Get(key); ok {
+				return data, true, nil
+			}
+		}
 		if err := s.acquire(ctx); err != nil {
 			return nil, false, err
 		}
@@ -331,11 +378,17 @@ func (s *Server) computeSnapshot(ctx context.Context, env *scenarioEnv, solver s
 			step1Curve[n-1] = cfg.EvaluateAt(design.Step1, n)
 		}
 		data, err := design.SnapshotUnder(cfg, curve, step1Curve, best).MarshalBytes()
-		// A degraded design is served but never stored: the design memo
-		// already refused it, and caching its bytes here would pin a
-		// deadline-cut answer on a key that a later, uncut request would
-		// otherwise improve.
-		return data, !design.Degraded, err
+		// A degraded design is served but never stored — in either tier:
+		// the design memo already refused it, and caching its bytes would
+		// pin a deadline-cut answer on a key that a later, uncut request
+		// would otherwise improve.
+		store := !design.Degraded
+		if err == nil && store && s.disk != nil {
+			// Best-effort spill: a failed Put is counted and logged by
+			// the disk tier; the in-memory entry still serves.
+			s.disk.Put(key, data)
+		}
+		return data, store, err
 	})
 }
 
@@ -588,39 +641,10 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if req.Solver != "" {
-		writeError(w, http.StatusBadRequest,
-			errors.New("use solvers (a list) to choose comparison backends, not solver"))
+	solvers, status, err := resolveCompareSolvers(&req)
+	if err != nil {
+		writeError(w, status, err)
 		return
-	}
-	names := req.Solvers
-	if len(names) == 0 {
-		names = solve.Names()
-	}
-	if len(names) > maxCompareSolvers {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("comparing %d solvers; the limit is %d", len(names), maxCompareSolvers))
-		return
-	}
-	if len(names) < 2 {
-		writeError(w, http.StatusBadRequest,
-			errors.New("a comparison needs at least two solvers"))
-		return
-	}
-	solvers := make([]string, len(names))
-	seen := make(map[string]bool, len(names))
-	for i, name := range names {
-		canonical, status, err := resolveSolver(name)
-		if err != nil {
-			writeError(w, status, err)
-			return
-		}
-		if seen[canonical] {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("duplicate solver %q", canonical))
-			return
-		}
-		seen[canonical] = true
-		solvers[i] = canonical
 	}
 	env, status, err := s.resolveSOC(&req.ScenarioRequest)
 	if err != nil {
@@ -650,6 +674,42 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// resolveCompareSolvers validates a comparison's backend list — the
+// canonical names in response-row order — under the rules both the
+// synchronous endpoint and the job layer enforce.
+func resolveCompareSolvers(req *CompareRequest) ([]string, int, error) {
+	if req.Solver != "" {
+		return nil, http.StatusBadRequest,
+			errors.New("use solvers (a list) to choose comparison backends, not solver")
+	}
+	names := req.Solvers
+	if len(names) == 0 {
+		names = solve.Names()
+	}
+	if len(names) > maxCompareSolvers {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("comparing %d solvers; the limit is %d", len(names), maxCompareSolvers)
+	}
+	if len(names) < 2 {
+		return nil, http.StatusBadRequest,
+			errors.New("a comparison needs at least two solvers")
+	}
+	solvers := make([]string, len(names))
+	seen := make(map[string]bool, len(names))
+	for i, name := range names {
+		canonical, status, err := resolveSolver(name)
+		if err != nil {
+			return nil, status, err
+		}
+		if seen[canonical] {
+			return nil, http.StatusBadRequest, fmt.Errorf("duplicate solver %q", canonical)
+		}
+		seen[canonical] = true
+		solvers[i] = canonical
+	}
+	return solvers, 0, nil
+}
+
 // compareRow computes one backend's comparison row through the result
 // cache. A panicking compute becomes an error row.
 func (s *Server) compareRow(ctx context.Context, env *scenarioEnv, solver string, cfg core.Config) (row CompareRow) {
@@ -669,6 +729,13 @@ func (s *Server) compareRow(ctx context.Context, env *scenarioEnv, solver string
 		row.Error = err.Error()
 		return row
 	}
+	fillCompareRow(&row, &view)
+	return row
+}
+
+// fillCompareRow projects a snapshot view onto a comparison row — shared
+// by the synchronous handler and the job runner.
+func fillCompareRow(row *CompareRow, view *snapshotView) {
 	row.Wires = view.Channels / 2
 	row.Channels = view.Channels
 	row.MaxSites = view.MaxSites
@@ -680,7 +747,6 @@ func (s *Server) compareRow(ctx context.Context, env *scenarioEnv, solver string
 	row.GainOverStep1 = view.Gain
 	row.Degraded = view.Degraded
 	row.Optimal = view.Optimal
-	return row
 }
 
 // referenceRow picks the solver the delta columns are measured against:

@@ -3,6 +3,7 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -314,6 +315,16 @@ type SOCInfo struct {
 	Modules       int    `json:"modules"`
 	Testable      int    `json:"testable"`
 	TotalTestBits int64  `json:"total_test_bits"`
+}
+
+// JobSubmitRequest is the JSON body of POST /v1/jobs: the job's type
+// (optimize, sweep, or compare) and the request body the matching
+// synchronous endpoint would take, validated under the same rules at
+// submit time. The 202 response body is the job's snapshot; its id
+// addresses GET /v1/jobs/{id} and /v1/jobs/{id}/result.
+type JobSubmitRequest struct {
+	Type    string          `json:"type"`
+	Request json.RawMessage `json:"request"`
 }
 
 // errorResponse is the JSON error body of every non-2xx response.
