@@ -24,6 +24,7 @@ import (
 	"multisite/internal/experiments"
 	"multisite/internal/multisite"
 	"multisite/internal/report"
+	"multisite/internal/sched"
 	"multisite/internal/sim"
 	"multisite/internal/soc"
 	"multisite/internal/tam"
@@ -258,6 +259,71 @@ func BenchmarkMonteCarlo(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMeasuredExpectedCyclesD695 measures the Monte-Carlo expected
+// abort-cycle estimator on d695 at 256 trials: the retained scalar
+// reference (one Event simulation per trial) against the 64-lane
+// scenario-parallel engine (sim.RunScenarios). Both run the identical
+// serial fault draw and return bit-identical means — the spread is pure
+// simulation cost.
+func BenchmarkMeasuredExpectedCyclesD695(b *testing.B) {
+	s := benchdata.Shared("d695")
+	arch, err := tam.DesignStep1(s, ate.ATE{Channels: 256, Depth: 64 * benchdata.Ki, ClockHz: 5e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	yield := sched.VolumeWeightedYield(arch, 0.85)
+	const trials = 256
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.MeasuredExpectedCyclesScalar(arch, yield, trials, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lanes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.MeasuredExpectedCycles(arch, yield, trials, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExpectedAbortSavings measures the Monte-Carlo multi-site
+// abort-savings estimator (8 sites × 128 touchdowns on d695), scalar
+// touchdown loop vs the lane-packed engine with every contacted die as
+// one scenario lane.
+func BenchmarkExpectedAbortSavings(b *testing.B) {
+	s := benchdata.Shared("d695")
+	arch, err := tam.DesignStep1(s, ate.ATE{Channels: 256, Depth: 64 * benchdata.Ki, ClockHz: 5e6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		sites      = 8
+		pins       = 32
+		touchdowns = 128
+	)
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.ExpectedAbortSavingsScalar(arch, sites, pins, 0.995, 0.8, touchdowns, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lanes", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.ExpectedAbortSavings(arch, sites, pins, 0.995, 0.8, touchdowns, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // ---- sweep-engine benchmarks ----

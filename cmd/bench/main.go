@@ -38,9 +38,11 @@ import (
 )
 
 // defaultGate is the pinned hot-path set the CI gate protects: the
-// optimizer hot path, the packed simulator, and the sweep engine. Each
-// entry matches benchmark names by substring (CPU suffixes normalized).
-const defaultGate = "OptimizePNX8550,SimBitD695,SweepEngine"
+// optimizer hot path, the packed simulator, the sweep engine, and the
+// scenario-lane Monte-Carlo paths. Each entry matches benchmark names by
+// substring (CPU suffixes normalized).
+const defaultGate = "OptimizePNX8550,SimBitD695,SweepEngine," +
+	"MeasuredExpectedCyclesD695/lanes,ExpectedAbortSavings/lanes"
 
 func main() {
 	var (

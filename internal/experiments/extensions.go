@@ -126,7 +126,7 @@ func ExtControlOverhead() *report.Table {
 func ExtSchedulingGain() *report.Table {
 	t := &report.Table{
 		Title:  "Extension: abort-on-fail gain from ratio-rule module ordering (single site)",
-		Header: []string{"SOC", "chip yield", "E[cycles] unordered", "E[cycles] ordered", "saving", "E[cycles] sim"},
+		Header: []string{"SOC", "chip yield", "E[cycles] unordered", "E[cycles] ordered", "saving", "E[cycles] sim", "sim gain"},
 	}
 	cases := []struct {
 		name  string
@@ -157,9 +157,16 @@ func ExtSchedulingGain() *report.Table {
 			if err != nil {
 				panic(fmt.Sprintf("experiments: measured cycles: %v", err))
 			}
+			// Paired trials: same seed, so identical fault draws on both
+			// orders — the simulated counterpart of the saving column.
+			mg, err := sched.MeasuredGain(arch, y, schedTrials, int64(100*yield))
+			if err != nil {
+				panic(fmt.Sprintf("experiments: measured gain: %v", err))
+			}
 			out = append(out, []interface{}{c.name, yield, before, after,
 				fmt.Sprintf("%.1f%%", 100*(before-after)/before),
-				fmt.Sprintf("%.0f", measured)})
+				fmt.Sprintf("%.0f", measured),
+				fmt.Sprintf("%.2f%%", 100*mg)})
 		}
 		return out
 	}) {
@@ -177,9 +184,10 @@ func ExtSchedulingGain() *report.Table {
 }
 
 // schedTrials is the Monte-Carlo die count behind ext-sched's simulated
-// column; small enough to keep the table seconds-scale, large enough for
-// a stable mean.
-const schedTrials = 150
+// columns: 15 full 64-lane blocks of the scenario-parallel engine. The
+// lane engine (DESIGN.md §13) made thousands-scale trial counts cheaper
+// than the old 150 scalar runs were.
+const schedTrials = 960
 
 // ExtTestFlow models the paper's full Section 3 flow: E-RPCT wafer sort
 // followed by all-pins final test on the same class of tester, showing why
@@ -328,7 +336,7 @@ func ExtTDC() *report.Table {
 func ExtBitVal() *report.Table {
 	t := &report.Table{
 		Title:  "Extension: bit-accurate cross-validation of the fault-cycle model",
-		Header: []string{"SOC", "modules", "cycles", "=analytic", "faults", "first-fail event", "first-fail bits", "agree", "bad bits"},
+		Header: []string{"SOC", "modules", "cycles", "=analytic", "faults", "first-fail event", "first-fail bits", "first-fail lanes", "agree", "bad bits"},
 	}
 	cases := []struct {
 		name     string
@@ -346,7 +354,7 @@ func ExtBitVal() *report.Table {
 		s := benchdata.Shared(c.name)
 		arch, err := tam.DesignStep1(s, ate.ATE{Channels: c.channels, Depth: c.depth, ClockHz: BaseClock})
 		if err != nil {
-			return []interface{}{c.name, "-", "-", "-", "-", "-", "-", "-", "-"}
+			return []interface{}{c.name, "-", "-", "-", "-", "-", "-", "-", "-", "-"}
 		}
 		faults := seededFaults(arch, 3, int64(c.channels)+c.depth)
 		ev, err := sim.Run(arch, sim.Event, faults...)
@@ -357,22 +365,29 @@ func ExtBitVal() *report.Table {
 		if err != nil {
 			panic(fmt.Sprintf("experiments: bit sim %s: %v", c.name, err))
 		}
+		// The scenario-parallel lane engine (DESIGN.md §13) on the same
+		// fault set, as a one-scenario block.
+		lanes, err := sim.RunScenarios(arch, []sim.Scenario{{Faults: faults}}, sim.ScenarioOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: lane sim %s: %v", c.name, err))
+		}
 		badBits := 0
 		for gi := range bit.Groups {
 			for _, mr := range bit.Groups[gi].Modules {
 				badBits += mr.Mismatches
 			}
 		}
-		agree := ev.FirstFailCycle == bit.FirstFailCycle && ev.Cycles == bit.Cycles
+		agree := ev.FirstFailCycle == bit.FirstFailCycle && ev.Cycles == bit.Cycles &&
+			lanes[0].FirstFailCycle == ev.FirstFailCycle && lanes[0].Cycles == ev.Cycles
 		return []interface{}{c.name, len(arch.SOC.TestableModules()), bit.Cycles,
 			bit.Cycles == arch.TestCycles(), len(faults),
-			ev.FirstFailCycle, bit.FirstFailCycle, agree, badBits}
+			ev.FirstFailCycle, bit.FirstFailCycle, lanes[0].FirstFailCycle, agree, badBits}
 	}) {
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"every scan-out bit of every module is materialized, shifted and compared (word-packed)",
-		"agree = event-level and bit-level simulators report identical first-fail cycles and test lengths")
+		"agree = event-level, bit-level and scenario-lane simulators report identical first-fail cycles and test lengths")
 	return t
 }
 

@@ -196,8 +196,8 @@ func TestExtBitValAllAgree(t *testing.T) {
 		if row[3] != "true" {
 			t.Errorf("%s: simulated cycles diverge from the analytic model", row[0])
 		}
-		if row[7] != "true" {
-			t.Errorf("%s: event and bit simulators disagree on the first-fail cycle", row[0])
+		if row[8] != "true" {
+			t.Errorf("%s: event, bit and lane simulators disagree on the first-fail cycle", row[0])
 		}
 	}
 }

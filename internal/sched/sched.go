@@ -150,39 +150,45 @@ func Gain(arch *tam.Architecture, yield YieldModel) float64 {
 // The fault draw consumes the PRNG in SOC module-index order, independent
 // of the group order, so the same seed yields the same per-trial fault
 // sets before and after a Reorder — MeasuredGain compares paired trials.
+//
+// Trials run through the scenario-parallel simulator in 64-lane blocks
+// (sim.RunScenarios): the draws stay serial — the PRNG stream is part of
+// the contract — and the per-trial first-fail cycles are byte-stable
+// against the retained scalar reference (MeasuredExpectedCyclesScalar).
 func MeasuredExpectedCycles(arch *tam.Architecture, yield YieldModel, trials int, seed int64) (float64, error) {
-	if trials < 1 {
-		return 0, fmt.Errorf("sched: need at least one trial")
+	scenarios, err := drawTrials(arch, yield, trials, seed)
+	if err != nil {
+		return 0, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	full := arch.TestCycles()
-	// Hoist the loop-invariant per-module wrapper designs out of the
-	// trial loop: the fault draw only needs (patterns, chains, scan-out).
-	// The rng stream is drawn in SOC module-index order regardless of the
-	// group order, so a Reorder does not perturb the paired trials.
-	testable := arch.SOC.TestableModules()
-	designs := make([]wrapper.Design, len(testable))
-	for i, mi := range testable {
-		for _, g := range arch.Groups {
-			for _, member := range g.Members {
-				if member == mi {
-					designs[i] = arch.Designer.Fit(mi, g.Width)
-				}
-			}
-		}
+	results, err := sim.RunScenarios(arch, scenarios, sim.ScenarioOptions{})
+	if err != nil {
+		return 0, err
 	}
-
+	full := float64(arch.TestCycles())
 	var sum float64
-	faults := make([]sim.Fault, 0, 4)
-	for trial := 0; trial < trials; trial++ {
-		faults = faults[:0]
-		for i, mi := range testable {
-			if rng.Float64() < yield(mi) {
-				continue // module passes
-			}
-			faults = append(faults, sim.FaultAt(rng, mi, arch.SOC.Modules[mi].Patterns, designs[i]))
+	for _, r := range results {
+		if r.FirstFailCycle >= 0 {
+			sum += float64(r.FirstFailCycle)
+		} else {
+			sum += full
 		}
-		r, err := sim.Run(arch, sim.Event, faults...)
+	}
+	return sum / float64(trials), nil
+}
+
+// MeasuredExpectedCyclesScalar is the retained scalar reference for
+// MeasuredExpectedCycles: identical draws, one Event-mode simulation per
+// trial. The randomized lane/scalar differentials and the scalar-vs-lanes
+// benchmarks compare against this implementation.
+func MeasuredExpectedCyclesScalar(arch *tam.Architecture, yield YieldModel, trials int, seed int64) (float64, error) {
+	scenarios, err := drawTrials(arch, yield, trials, seed)
+	if err != nil {
+		return 0, err
+	}
+	full := arch.TestCycles()
+	var sum float64
+	for _, sc := range scenarios {
+		r, err := sim.Run(arch, sim.Event, sc.Faults...)
 		if err != nil {
 			return 0, err
 		}
@@ -193,6 +199,48 @@ func MeasuredExpectedCycles(arch *tam.Architecture, yield YieldModel, trials int
 		}
 	}
 	return sum / float64(trials), nil
+}
+
+// drawTrials draws the per-trial fault sets both MeasuredExpectedCycles
+// implementations share: per trial, an independent pass/fail outcome for
+// every testable module, and a FaultAt draw for each failing one — in SOC
+// module-index order, one unbroken rng stream across trials.
+func drawTrials(arch *tam.Architecture, yield YieldModel, trials int, seed int64) ([]sim.Scenario, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("sched: need at least one trial")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Hoist the loop-invariant per-module wrapper designs out of the
+	// trial loop via a single-pass module→group index: the fault draw only
+	// needs (patterns, chains, scan-out). A testable module outside every
+	// group would silently consume a different number of rng draws than
+	// the grouped path (its zero Design has no chains), desynchronizing
+	// every later trial — refuse it loudly instead.
+	testable := arch.SOC.TestableModules()
+	groups := sim.GroupIndex(arch)
+	designs := make([]wrapper.Design, len(testable))
+	pass := make([]float64, len(testable))
+	for i, mi := range testable {
+		gi := groups[mi]
+		if gi < 0 {
+			return nil, fmt.Errorf("sched: testable module %d is in no channel group; the architecture is incomplete", mi)
+		}
+		designs[i] = arch.Designer.Fit(mi, arch.Groups[gi].Width)
+		pass[i] = yield(mi) // hoisted: the model is a pure function of mi
+	}
+
+	scenarios := make([]sim.Scenario, trials)
+	for trial := range scenarios {
+		var faults []sim.Fault
+		for i, mi := range testable {
+			if rng.Float64() < pass[i] {
+				continue // module passes
+			}
+			faults = append(faults, sim.FaultAt(rng, mi, arch.SOC.Modules[mi].Patterns, designs[i]))
+		}
+		scenarios[trial].Faults = faults
+	}
+	return scenarios, nil
 }
 
 // MeasuredGain is Gain with the simulator in place of the analytic bound:

@@ -275,3 +275,54 @@ func TestMeasuredGainPairedTrials(t *testing.T) {
 		t.Errorf("measured gain %g is materially negative", g)
 	}
 }
+
+// TestMeasuredExpectedCyclesLanesMatchesScalar holds the 64-lane
+// Monte-Carlo path to the retained scalar reference across mixed yield,
+// seed, and trial-count configurations — including odd trial counts
+// whose tail block leaves lanes idle.
+func TestMeasuredExpectedCyclesLanesMatchesScalar(t *testing.T) {
+	a := arch(t)
+	for _, yield := range []float64{0.6, 0.85, 0.99} {
+		for _, trials := range []int{1, 63, 64, 65, 150} {
+			for seed := int64(0); seed < 3; seed++ {
+				lanes, err := MeasuredExpectedCycles(a, VolumeWeightedYield(a, yield), trials, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scalar, err := MeasuredExpectedCyclesScalar(a, VolumeWeightedYield(a, yield), trials, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lanes != scalar {
+					t.Errorf("yield=%g trials=%d seed=%d: lanes %v != scalar %v",
+						yield, trials, seed, lanes, scalar)
+				}
+			}
+		}
+	}
+}
+
+// TestMeasuredExpectedCyclesUnplacedModule: a testable module outside
+// every channel group would silently desynchronize the PRNG stream
+// (its zero-value design has no chains to draw on); the measured paths
+// must refuse the incomplete architecture loudly instead.
+func TestMeasuredExpectedCyclesUnplacedModule(t *testing.T) {
+	a := arch(t).Clone()
+	// Evict one testable module from its group.
+	victim := a.SOC.TestableModules()[0]
+	for _, g := range a.Groups {
+		for i, mi := range g.Members {
+			if mi == victim {
+				g.Members = append(g.Members[:i], g.Members[i+1:]...)
+				g.Times = append(g.Times[:i], g.Times[i+1:]...)
+				break
+			}
+		}
+	}
+	if _, err := MeasuredExpectedCycles(a, UniformYield(0.9), 10, 1); err == nil {
+		t.Error("lane path accepted an architecture with an unplaced testable module")
+	}
+	if _, err := MeasuredExpectedCyclesScalar(a, UniformYield(0.9), 10, 1); err == nil {
+		t.Error("scalar path accepted an architecture with an unplaced testable module")
+	}
+}
