@@ -1,0 +1,69 @@
+// Command gateway fronts a shared-nothing fleet of serve shards: it
+// computes each request's canonical cache key (the same derivation the
+// shards use), routes the request to the consistent-hash ring owner,
+// and streams the response back unbuffered. A shard failing at the
+// transport level costs one retry on its ring successor; once its
+// per-peer circuit breaker opens, traffic skips it outright until the
+// cooldown admits a probe.
+//
+//	serve -addr :8081 -data-dir /var/lib/ms1 -peers localhost:8081,localhost:8082,localhost:8083 -self localhost:8081
+//	serve -addr :8082 -data-dir /var/lib/ms2 -peers localhost:8081,localhost:8082,localhost:8083 -self localhost:8082
+//	serve -addr :8083 -data-dir /var/lib/ms3 -peers localhost:8081,localhost:8082,localhost:8083 -self localhost:8083
+//	gateway -addr :8080 -peers localhost:8081,localhost:8082,localhost:8083
+//
+//	curl -s -X POST localhost:8080/v1/optimize -d '{"soc":"d695","channels":256,"depth":"64K"}'
+//	curl -sN -X POST localhost:8080/v1/sweep -d '{"soc":"pnx8550","depths":"5M:14M:1M"}'
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"type":"sweep","request":{"soc":"d695","depths":"1M:4M:1M"}}'
+//	curl -s localhost:8080/v1/jobs/s1-j0000000001
+//	curl -s localhost:8080/readyz
+//	curl -s localhost:8080/metrics
+//
+// The gateway is stateless: every routing decision is a pure function
+// of the -peers list and the request bytes, so any number of gateways
+// can front one fleet without coordination.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"multisite/internal/gateway"
+	"multisite/internal/resilience"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		peers    = flag.String("peers", "", "comma-separated host:port list of ALL shard peers (required)")
+		cooldown = flag.Duration("breaker-cooldown", 5*time.Second, "per-peer circuit-breaker cooldown before probing a failed shard")
+	)
+	flag.Parse()
+	if *peers == "" {
+		fmt.Fprintln(os.Stderr, "gateway: -peers is required")
+		os.Exit(2)
+	}
+	g, err := gateway.New(gateway.Options{
+		Peers:   strings.Split(*peers, ","),
+		Breaker: resilience.Options{Cooldown: *cooldown},
+		Logf:    log.New(os.Stderr, "gateway: ", log.LstdFlags).Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gateway:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "gateway: listening on %s, fronting %s\n", *addr, *peers)
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "gateway:", err)
+		os.Exit(1)
+	}
+}

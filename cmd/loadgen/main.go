@@ -21,6 +21,18 @@
 //	    -mix hot=0.3,deadline=0.7 -min-degraded 1   # chaos/degradation drill
 //	loadgen -url http://localhost:8080 -dump-schedule   # inspect, don't run
 //
+// Against a fleet, point -target at the gateway and -peers at the
+// shards: the run drives the gateway while scraping every shard's
+// /metrics before and after, and the report gains a per-shard table —
+// request share and cache hit rate per shard, plus the fleet skew
+// (hottest shard vs the ideal 1/N share, hit-rate spread). A balanced
+// content-addressed ring shows skew near 1.00x and spread near 0.
+//
+//	gateway -addr :8080 -peers localhost:8081,localhost:8082,localhost:8083 &
+//	loadgen -target http://localhost:8080 \
+//	    -peers localhost:8081,localhost:8082,localhost:8083 \
+//	    -rate 50 -duration 10s -mix hot=0.5,cold=0.2,sweep=0.1,compare=0.1,jobs=0.1
+//
 // Alongside the human table, the run lands as a machine-readable
 // LOADGEN_<date>.json next to cmd/bench's BENCH_<date>.json (-out
 // overrides), so the serving-layer trajectory is captured the same way
@@ -46,6 +58,8 @@ import (
 func main() {
 	var (
 		url      = flag.String("url", "http://127.0.0.1:8080", "base URL of the cmd/serve instance")
+		target   = flag.String("target", "", "fleet gateway URL to drive (overrides -url)")
+		peers    = flag.String("peers", "", "comma-separated shard host:port list to scrape per-peer /metrics from (fleet runs; reports per-shard hit-rate skew)")
 		rate     = flag.Float64("rate", 50, "arrival rate, requests per second")
 		duration = flag.Duration("duration", 10*time.Second, "schedule span")
 		seed     = flag.Int64("seed", 1, "schedule seed (same seed, same request bytes)")
@@ -58,13 +72,20 @@ func main() {
 		minDeg   = flag.Int("min-degraded", 0, "fail unless at least this many responses were degraded (asserts the degradation path was exercised)")
 	)
 	flag.Parse()
-	if err := run(*url, *rate, *duration, *seed, *mixFlag, *socs, *inflight, *out, *noScrape, *dump, *minDeg); err != nil {
+	if *target != "" {
+		*url = *target
+	}
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+	if err := run(*url, peerList, *rate, *duration, *seed, *mixFlag, *socs, *inflight, *out, *noScrape, *dump, *minDeg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url string, rate float64, duration time.Duration, seed int64, mixFlag, socs string, inflight int, out string, noScrape, dump bool, minDegraded int) error {
+func run(url string, peers []string, rate float64, duration time.Duration, seed int64, mixFlag, socs string, inflight int, out string, noScrape, dump bool, minDegraded int) error {
 	mix, err := parseMix(mixFlag)
 	if err != nil {
 		return err
@@ -92,7 +113,7 @@ func run(url string, rate float64, duration time.Duration, seed int64, mixFlag, 
 	fmt.Fprintf(os.Stderr, "loadgen: %d requests at %.1f/s over %s against %s (seed %d)\n",
 		len(sched.Requests), rate, duration, url, seed)
 	res, runErr := loadgen.Run(ctx, sched, loadgen.RunOptions{
-		BaseURL: url, MaxInflight: inflight, NoScrape: noScrape,
+		BaseURL: url, MaxInflight: inflight, NoScrape: noScrape, Peers: peers,
 	})
 	if res == nil {
 		return runErr

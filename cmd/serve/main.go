@@ -47,6 +47,19 @@
 //
 //	serve -data-dir /tmp/ms -inject-disk "shortwrite,pass,eio,repeat"
 //
+// With -peers/-self the server joins a shared-nothing fleet: N serve
+// processes partition the content-addressed key space over a
+// consistent-hash ring, each keeping its caches and job journal fully
+// private. A request landing on the wrong shard is answered 307 to the
+// owner (curl -L follows it, re-POSTing the body); put cmd/gateway in
+// front for proxied routing with failover instead. Job IDs gain a shard
+// prefix ("s1-j0000000042") so any ID routes back to its owner:
+//
+//	serve -addr :8081 -data-dir /var/lib/ms1 -peers localhost:8081,localhost:8082,localhost:8083 -self localhost:8081
+//	serve -addr :8082 -data-dir /var/lib/ms2 -peers localhost:8081,localhost:8082,localhost:8083 -self localhost:8082
+//	serve -addr :8083 -data-dir /var/lib/ms3 -peers localhost:8081,localhost:8082,localhost:8083 -self localhost:8083
+//	curl -sL -X POST localhost:8081/v1/optimize -d '{"soc":"d695","channels":256,"depth":"64K"}'
+//
 // SIGINT/SIGTERM drain in-flight requests before exiting (bounded by
 // -drain), then stop the job worker pool cleanly: running jobs get a
 // progress checkpoint and the journal is fsynced before the process
@@ -82,6 +95,8 @@ func main() {
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		dataDir     = flag.String("data-dir", "", "durable-tier directory: disk cache + job journal (empty = in-memory only)")
 		jobWorkers  = flag.Int("job-workers", 0, "durable job worker pool size (0 = default; needs -data-dir)")
+		peers       = flag.String("peers", "", "fleet mode: comma-separated host:port list of ALL shard peers, this one included")
+		self        = flag.String("self", "", "fleet mode: this peer's own address as it appears in -peers")
 	)
 	var diskPlan *faultinject.DiskPlan
 	flag.Func("inject-disk", "disk fault schedule, e.g. shortwrite,pass,eio,torn,repeat (chaos testing only; needs -data-dir)", func(v string) error {
@@ -118,6 +133,13 @@ func main() {
 		DataDir:        *dataDir,
 		JobWorkers:     *jobWorkers,
 		Logf:           log.New(os.Stderr, "serve: ", log.LstdFlags).Printf,
+	}
+	if *peers != "" {
+		opts.FleetPeers = strings.Split(*peers, ",")
+		opts.FleetSelf = *self
+	} else if *self != "" {
+		fmt.Fprintln(os.Stderr, "serve: -self needs -peers")
+		os.Exit(2)
 	}
 	if diskPlan != nil {
 		if *dataDir == "" {
@@ -158,6 +180,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
+	}
+	if lbl := s.ShardLabel(); lbl != "" {
+		fmt.Fprintf(os.Stderr, "serve: fleet shard %s of %d peers\n", lbl, len(opts.FleetPeers))
 	}
 	srv := &http.Server{
 		Addr:              *addr,

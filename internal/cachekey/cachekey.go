@@ -1,0 +1,73 @@
+// Package cachekey derives the canonical content-addressed keys of the
+// serving layer. Every optimize/sweep/job result in the system is keyed
+// by a SHA-256 over (canonical SOC hash, canonical solver name, cost
+// model and TAM configuration) — the key the result cache stores bytes
+// under, the key the disk tier addresses, and, in fleet mode, the key
+// the consistent-hash ring shards the fleet's traffic on.
+//
+// The derivation lives in its own package so the two parties that must
+// agree on it — internal/server (which stores under the key) and the
+// fleet gateway (which routes on it) — share one implementation and
+// structurally cannot drift. A gateway computing a different key than
+// the shard it routes to would turn every fleet request into a cache
+// miss on the wrong shard; importing one function makes that bug
+// unexpressible.
+package cachekey
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"multisite/internal/core"
+)
+
+// Scenario derives the content-addressed cache key of one optimization
+// scenario: a SHA-256 over the canonical SOC hash, the canonical solver
+// name, and every configuration field that affects the response,
+// rendered in a fixed order with exact float formatting. Two requests
+// produce one key iff they describe the same computation — a client
+// uploading d695 inline shares entries with requests naming the
+// built-in benchmark, while two backends' responses for one scenario
+// never alias (solver is a key dimension). Callers pass the solver's
+// canonical name (solve.Solver.Name), never the request's spelling, so
+// "" and "heuristic" address one entry. The configuration is normalized
+// here, so callers need not pre-normalize.
+func Scenario(socHash, solver string, cfg core.Config) string {
+	cfg = cfg.Normalized()
+	var b strings.Builder
+	b.WriteString("optimize/v1|soc=")
+	b.WriteString(socHash)
+	b.WriteString("|solver=")
+	b.WriteString(solver)
+	fmt.Fprintf(&b, "|N=%d|D=%d|clk=%s|bc=%t",
+		cfg.ATE.Channels, cfg.ATE.Depth, fmtFloat(cfg.ATE.ClockHz), cfg.ATE.Broadcast)
+	fmt.Fprintf(&b, "|ti=%s|tc=%s", fmtFloat(cfg.Probe.IndexTime), fmtFloat(cfg.Probe.ContactTime))
+	fmt.Fprintf(&b, "|pc=%s|pm=%s|abort=%t|retest=%t|pins=%d",
+		fmtFloat(cfg.ContactYield), fmtFloat(cfg.Yield), cfg.AbortOnFail, cfg.Retest, cfg.ControlPins)
+	fmt.Fprintf(&b, "|rule=%d|maxw=%d|nosq=%t|single=%t",
+		cfg.TAM.Rule, cfg.TAM.MaxWires, cfg.TAM.NoSqueeze, cfg.TAM.SinglePass)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// RouteCompare derives the fleet routing key of a /v1/compare request.
+// A comparison runs several backends, each cached under its own
+// Scenario key; the routing key pins the whole comparison to one shard
+// deterministically by keying the scenario under the reserved
+// pseudo-solver "compare" (no registry backend can take that spelling
+// of a per-backend entry, because Scenario keys use canonical registry
+// names). The solver list is deliberately not a dimension: two
+// comparisons of one scenario land on one shard and share that shard's
+// per-backend cache entries.
+func RouteCompare(socHash string, cfg core.Config) string {
+	return Scenario(socHash, "compare", cfg)
+}
+
+// fmtFloat renders a float64 exactly (shortest round-trip form), so keys
+// never collide on formatting precision.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

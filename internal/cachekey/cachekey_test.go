@@ -1,0 +1,51 @@
+package cachekey
+
+import (
+	"testing"
+
+	"multisite/internal/ate"
+	"multisite/internal/core"
+)
+
+func testCfg() core.Config {
+	return core.Config{ATE: ate.ATE{Channels: 256, Depth: 64 << 10, ClockHz: 5e6},
+		Probe: ate.DefaultProbeStation()}
+}
+
+// TestScenarioPinned pins the key derivation bytes: gateway routing,
+// the in-memory cache, and the on-disk CAS all address results by this
+// exact string. Changing the derivation invalidates every fleet's disk
+// tier at once — this pin makes that a reviewed decision, not a drift.
+func TestScenarioPinned(t *testing.T) {
+	const want = "f57643730ceb0868d7274ad11168a0961a14db51e6d5a8ae14526ffe6167974d"
+	if got := Scenario("sochash", "heuristic", testCfg()); got != want {
+		t.Fatalf("Scenario = %s, want pinned %s", got, want)
+	}
+}
+
+func TestScenarioNormalizes(t *testing.T) {
+	cfg := testCfg()
+	a := Scenario("h", "heuristic", cfg)
+	cfg.ContactYield, cfg.Yield = 1, 1 // the normalized defaults
+	if b := Scenario("h", "heuristic", cfg); a != b {
+		t.Fatalf("zero and normalized yields keyed differently: %s vs %s", a, b)
+	}
+}
+
+func TestScenarioDimensions(t *testing.T) {
+	base := Scenario("h", "heuristic", testCfg())
+	if Scenario("h2", "heuristic", testCfg()) == base {
+		t.Error("soc hash is not a key dimension")
+	}
+	if Scenario("h", "exact", testCfg()) == base {
+		t.Error("solver is not a key dimension")
+	}
+	cfg := testCfg()
+	cfg.ATE.Depth++
+	if Scenario("h", "heuristic", cfg) == base {
+		t.Error("depth is not a key dimension")
+	}
+	if RouteCompare("h", testCfg()) == base {
+		t.Error("compare routing key aliases the heuristic scenario key")
+	}
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NormalizeAddr canonicalizes a peer address for ring membership: the
+// URL scheme and any trailing slash are stripped and the result
+// lowercased, so "http://10.0.0.1:8080/" and "10.0.0.1:8080" name one
+// member. Ring membership is string equality — the gateway's -peers
+// list and each serve's -peers list must resolve to the same member
+// strings or they are describing different rings.
+func NormalizeAddr(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	return strings.ToLower(strings.TrimRight(s, "/"))
+}
+
+// NormalizeAddrs maps NormalizeAddr over a list, dropping empties.
+func NormalizeAddrs(in []string) []string {
+	out := make([]string, 0, len(in))
+	for _, s := range in {
+		if n := NormalizeAddr(s); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ShardLabel returns self's canonical short label within the member
+// set: "s<i>" with i self's index in the sorted, normalized member
+// list. The label is a pure function of the member set, so every party
+// holding the same -peers list derives the same labels — which is what
+// lets a shard stamp its label into job IDs and a gateway map those IDs
+// straight back to the owning peer.
+func ShardLabel(members []string, self string) (string, error) {
+	norm := NormalizeAddrs(members)
+	sort.Strings(norm)
+	selfN := NormalizeAddr(self)
+	for i, m := range norm {
+		if m == selfN {
+			return "s" + strconv.Itoa(i), nil
+		}
+	}
+	return "", fmt.Errorf("fleet: self %q is not among the peers %v", self, norm)
+}
+
+// SplitShardID splits a shard-qualified job ID ("s1-j0000000042") into
+// its shard label and the shard-local ID. Unqualified IDs (a
+// single-node serve's "j0000000042") report ok=false.
+func SplitShardID(id string) (label, rest string, ok bool) {
+	if len(id) < 2 || id[0] != 's' {
+		return "", "", false
+	}
+	dash := strings.IndexByte(id, '-')
+	if dash < 2 {
+		return "", "", false
+	}
+	if _, err := strconv.Atoi(id[1:dash]); err != nil {
+		return "", "", false
+	}
+	return id[:dash], id[dash+1:], true
+}
+
+// LabelIndex parses a shard label ("s2") back to its index in the
+// sorted member list, or -1.
+func LabelIndex(label string) int {
+	if len(label) < 2 || label[0] != 's' {
+		return -1
+	}
+	n, err := strconv.Atoi(label[1:])
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}

@@ -133,6 +133,12 @@ type Options struct {
 	// channel is closed — a test hook for observing the not-ready
 	// window. Leave nil in production.
 	StallReplay <-chan struct{}
+	// IDPrefix is stamped onto newly assigned job IDs ("s1-j0000000001").
+	// A fleet peer sets its shard label here so job IDs are globally
+	// routable: any party holding an ID can map it back to the owning
+	// shard without asking around. Replayed jobs keep their journaled
+	// IDs verbatim, whatever prefix they were born under.
+	IDPrefix string
 }
 
 // progressEvery is how many rows pass between progress records.
@@ -269,7 +275,7 @@ func Open(opts Options) (*Manager, error) {
 		opts.Backoff = 250 * time.Millisecond
 	}
 
-	j, recs, corrupt, err := openJournal(opts.Dir, opts.Inject)
+	j, recs, corrupt, err := openJournal(opts.Dir, opts.IDPrefix, opts.Inject)
 	if err != nil {
 		return nil, err
 	}

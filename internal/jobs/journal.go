@@ -101,15 +101,16 @@ type journal struct {
 	dir    string
 	path   string
 	f      *os.File
-	seq    int64 // last assigned sequence number
-	count  int   // records in the file (for rotation policy)
+	seq    int64  // last assigned sequence number
+	count  int    // records in the file (for rotation policy)
+	prefix string // stamped onto new job IDs (fleet shard identity)
 	inject func(op diskcache.Op) diskcache.Fault
 }
 
 // openJournal reads (or creates) the journal, returning the surviving
 // records in file order and the count of corrupt lines dropped. A torn
 // final line is not counted as corrupt.
-func openJournal(dir string, inject func(op diskcache.Op) diskcache.Fault) (*journal, []*record, int, error) {
+func openJournal(dir, idPrefix string, inject func(op diskcache.Op) diskcache.Fault) (*journal, []*record, int, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, nil, 0, fmt.Errorf("jobs: %w", err)
 	}
@@ -152,7 +153,7 @@ func openJournal(dir string, inject func(op diskcache.Op) diskcache.Fault) (*jou
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("jobs: %w", err)
 	}
-	return &journal{dir: dir, path: path, f: f, seq: maxSeq, count: count, inject: inject}, recs, corrupt, nil
+	return &journal{dir: dir, path: path, f: f, seq: maxSeq, count: count, prefix: idPrefix, inject: inject}, recs, corrupt, nil
 }
 
 func (j *journal) fault(op diskcache.Op) diskcache.Fault {
@@ -177,10 +178,12 @@ func (j *journal) appendLocked(rec *record, sync bool) (int64, error) {
 	rec.Seq = j.seq
 	rec.At = time.Now().Unix()
 	if rec.Op == "enqueue" && rec.ID == "" {
-		// The job ID is the enqueue record's sequence number: one
-		// journaled fact names the job forever, and rotation preserves
-		// sequence numbers, so IDs stay unique across restarts.
-		rec.ID = jobID(rec.Seq)
+		// The job ID is the enqueue record's sequence number (plus the
+		// fleet shard prefix, when configured): one journaled fact names
+		// the job forever, and rotation preserves sequence numbers, so
+		// IDs stay unique across restarts. Replayed records carry their
+		// stored IDs, so a prefix change never renames accepted jobs.
+		rec.ID = j.prefix + jobID(rec.Seq)
 	}
 	line, err := frameRecord(rec)
 	if err != nil {

@@ -37,6 +37,24 @@ func (r *Result) WriteTable(w io.Writer) error {
 				r.Server.Degraded, r.Server.BreakerTrips, r.Server.BreakerRejects)
 		}
 	}
+	if r.Fleet != nil {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(tw, "shard\tpeer\trequests\tshare\thit rate")
+		for _, s := range r.Fleet.Shards {
+			if !s.Scraped {
+				fmt.Fprintf(tw, "%s\t%s\t-\t-\t- (unreachable)\n", s.Shard, s.Peer)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f%%\t%.1f%%\n",
+				s.Shard, s.Peer, s.Requests, 100*s.Share, 100*s.HitRate)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "fleet skew: hottest shard at %.2fx the ideal 1/%d share, hit-rate spread %.1fpp\n",
+			r.Fleet.RequestSkew, len(r.Fleet.Shards), 100*r.Fleet.HitRateSpread)
+	}
 	return nil
 }
 

@@ -28,6 +28,13 @@ type RunOptions struct {
 	// NoScrape skips the /metrics scrape (for servers that are not
 	// cmd/serve).
 	NoScrape bool
+	// Peers lists the fleet's shard addresses (host:port). When set,
+	// each peer's /metrics is scraped before and after the run and the
+	// report gains per-shard request shares and hit rates plus the
+	// fleet-wide skew (Result.Fleet); the run-wide ServerStats become
+	// the sum over shards, since a gateway BaseURL has no cache of its
+	// own to scrape.
+	Peers []string
 }
 
 // sample is one completed request's measurement.
@@ -100,6 +107,9 @@ type Result struct {
 
 	Classes []ClassReport `json:"classes"`
 	Server  ServerStats   `json:"server"`
+	// Fleet holds the per-shard breakdown when the run scraped fleet
+	// peers (RunOptions.Peers); nil for single-node runs.
+	Fleet *FleetStats `json:"fleet,omitempty"`
 }
 
 // Run replays the schedule against the server, open-loop: each request
@@ -125,8 +135,11 @@ func Run(ctx context.Context, sched *Schedule, opts RunOptions) (*Result, error)
 
 	var before metricsSnapshot
 	scraped := false
+	var fleetBefore []peerScrape
 	if !opts.NoScrape {
-		if m, err := scrapeMetrics(ctx, client, base); err == nil {
+		if len(opts.Peers) > 0 {
+			fleetBefore = scrapeFleet(ctx, client, opts.Peers)
+		} else if m, err := scrapeMetrics(ctx, client, base); err == nil {
 			before, scraped = m, true
 		}
 	}
@@ -175,7 +188,10 @@ func Run(ctx context.Context, sched *Schedule, opts RunOptions) (*Result, error)
 	elapsed := time.Since(start)
 
 	res := aggregate(sched, samples, elapsed)
-	if scraped {
+	if fleetBefore != nil {
+		fleetAfter := scrapeFleet(context.Background(), client, opts.Peers)
+		res.Fleet, res.Server = diffFleet(opts.Peers, fleetBefore, fleetAfter)
+	} else if scraped {
 		if after, err := scrapeMetrics(context.Background(), client, base); err == nil {
 			res.Server = diffMetrics(before, after)
 		}
@@ -297,6 +313,11 @@ type metricsSnapshot struct {
 	hits, dedups, computes int64
 	degraded               int64
 	trips, rejects         int64
+	// requests sums multisite_requests_total over the compute endpoints
+	// (optimize, sweep, compare, jobs) — the per-shard traffic measure
+	// for fleet runs; probe and metrics endpoints are excluded so the
+	// scrape does not count itself.
+	requests int64
 }
 
 func scrapeMetrics(ctx context.Context, client *http.Client, base string) (metricsSnapshot, error) {
@@ -342,6 +363,13 @@ func scrapeMetrics(ctx context.Context, client *http.Client, base string) (metri
 			snap.trips += v
 		case strings.HasPrefix(fields[0], "multisite_breaker_rejects_total{"):
 			snap.rejects += v
+		}
+		switch fields[0] {
+		case `multisite_requests_total{endpoint="optimize"}`,
+			`multisite_requests_total{endpoint="sweep"}`,
+			`multisite_requests_total{endpoint="compare"}`,
+			`multisite_requests_total{endpoint="jobs"}`:
+			snap.requests += v
 		}
 	}
 	return snap, nil

@@ -59,6 +59,11 @@ func jobRetryable(err error) bool {
 // job journal at <dir>/jobs. An empty DataDir yields a purely in-memory
 // server, byte-for-byte equivalent to New.
 func NewWithData(opts Options) (*Server, error) {
+	// Validate the fleet configuration up front: New panics on it (its
+	// signature predates fleet mode), and a flag typo deserves an error.
+	if _, err := newFleet(opts); err != nil {
+		return nil, err
+	}
 	s := New(opts)
 	if opts.DataDir == "" {
 		return s, nil
@@ -74,6 +79,7 @@ func NewWithData(opts Options) (*Server, error) {
 	s.disk = disk
 	mgr, err := jobs.Open(jobs.Options{
 		Dir:         opts.DataDir + "/jobs",
+		IDPrefix:    s.fleet.jobIDPrefix(),
 		CAS:         disk,
 		Runner:      s.runJob,
 		Workers:     opts.JobWorkers,
@@ -138,6 +144,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	// A job routes where its inner spec's synchronous request would: the
+	// shard owning the spec's cache key accepts it, journals it, and
+	// serves its result. The key rides the 202 so clients can correlate.
+	key, _, keyErr := jobRouteKey(typ, req.Request)
+	if keyErr == nil && s.redirectRemote(w, r, key) {
+		return
+	}
 	snap, err := s.jobMgr.Enqueue(jobs.Spec{Type: typ, Request: req.Request})
 	if err != nil {
 		switch {
@@ -152,6 +165,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+	if keyErr == nil {
+		w.Header().Set(HeaderCacheKey, key)
+	}
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(snap)
 }

@@ -204,8 +204,10 @@ func TestReadyzHoldsDuringReplay(t *testing.T) {
 	if resp, _ := get(t, ts, "/livez"); resp.StatusCode != http.StatusOK {
 		t.Errorf("livez during replay = %d", resp.StatusCode)
 	}
-	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != http.StatusOK {
-		t.Errorf("healthz during replay = %d", resp.StatusCode)
+	// /healthz aliases readiness: a load balancer polling it must not
+	// route traffic to a server still replaying its journal.
+	if resp, _ := get(t, ts, "/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz during replay = %d, want 503 (readiness alias)", resp.StatusCode)
 	}
 	resp, body := get(t, ts, "/readyz")
 	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "replay") {

@@ -12,7 +12,11 @@
 //	                    return a side-by-side delta table.
 //	GET  /v1/solvers  — list the registered optimizer backends.
 //	GET  /v1/socs     — list the built-in benchmark SOCs.
-//	GET  /healthz     — liveness probe.
+//	GET  /healthz     — readiness probe (alias of /readyz: load balancers
+//	                    conventionally poll /healthz, and a server still
+//	                    replaying its job journal must not receive traffic).
+//	GET  /livez       — pure liveness (process up), never load-gated.
+//	GET  /readyz      — readiness: jobs journal replayed, ready for traffic.
 //	GET  /metrics     — Prometheus-style request and cache counters.
 //
 // Every compute endpoint takes a "solver" field naming the registered
@@ -42,7 +46,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -50,6 +53,7 @@ import (
 	"time"
 
 	"multisite/internal/benchdata"
+	"multisite/internal/cachekey"
 	"multisite/internal/core"
 	"multisite/internal/diskcache"
 	"multisite/internal/engine"
@@ -127,6 +131,19 @@ type Options struct {
 	// readiness) until the channel closes — a test hook for the
 	// not-ready window. Leave nil in production.
 	JobStallReplay <-chan struct{}
+
+	// FleetPeers, when non-empty, puts the server in fleet mode: the
+	// full list of peer addresses (host:port, this server included)
+	// whose consistent-hash ring partitions the content-addressed key
+	// space. FleetSelf names this server's own entry in that list; it
+	// must match one of the peers after normalization. Requests whose
+	// routing key another peer owns are answered 307 unless a gateway
+	// marked them routed (see fleet.go).
+	FleetPeers []string
+	FleetSelf  string
+	// FleetReplicas overrides the ring's virtual-node count per member;
+	// 0 means fleet.DefaultReplicas. Every fleet party must agree.
+	FleetReplicas int
 }
 
 // Server holds the shared state of the serving layer. Create with New;
@@ -142,6 +159,10 @@ type Server struct {
 	// Both are nil without a DataDir (see NewWithData).
 	disk   *diskcache.Cache
 	jobMgr *jobs.Manager
+
+	// fleet is this server's view of the shard ring, nil outside fleet
+	// mode (see fleet.go).
+	fleet *fleetInfo
 
 	socs      map[string]*soc.SOC
 	socHashes map[string]string
@@ -164,13 +185,20 @@ type Server struct {
 	anytimeEvents atomic.Int64 // NDJSON anytime events streamed
 }
 
-// New builds a server over the built-in benchmark SOCs.
+// New builds a server over the built-in benchmark SOCs. It panics on an
+// inconsistent fleet configuration; NewWithData (which every production
+// path goes through) validates and returns the error instead.
 func New(opts Options) *Server {
 	if opts.Concurrency <= 0 {
 		opts.Concurrency = 2 * runtime.GOMAXPROCS(0)
 	}
+	fl, err := newFleet(opts)
+	if err != nil {
+		panic(err)
+	}
 	s := &Server{
 		opts:      opts,
+		fleet:     fl,
 		memo:      engine.NewMemoBounded(maxMemoDesigns),
 		cache:     resultcache.New(resultcache.Options{Capacity: opts.CacheCapacity}),
 		sem:       make(chan struct{}, opts.Concurrency),
@@ -224,7 +252,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/compare", s.instrument("compare", s.handleCompare))
 	mux.HandleFunc("GET /v1/solvers", s.instrument("solvers", s.handleSolvers))
 	mux.HandleFunc("GET /v1/socs", s.instrument("socs", s.handleSOCs))
-	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	// /healthz is an alias of /readyz: load balancers conventionally
+	// poll /healthz, and pointing it at liveness would route traffic to
+	// a server still replaying its job journal. /livez remains the pure
+	// process-up probe.
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleReadyz))
 	mux.HandleFunc("GET /livez", s.instrument("healthz", s.handleLivez))
 	mux.HandleFunc("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleJobSubmit))
@@ -232,7 +264,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobGet))
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.instrument("jobs", s.handleJobResult))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
-	return mux
+	if s.fleet == nil {
+		return mux
+	}
+	// In fleet mode every response names its shard, so any client (or
+	// the chaos drill) can verify which peer actually answered.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(HeaderShard, s.fleet.label)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // CacheStats exposes the result-cache counters (tests and diagnostics).
@@ -407,6 +447,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	key := cacheKey(env.hash, solver, req.Config())
+	if s.redirectRemote(w, r, key) {
+		return
+	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 	if req.Anytime {
@@ -420,6 +464,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cacheHeader(cached))
+	w.Header().Set(HeaderCacheKey, key)
 	// The provenance flags ride in the response body; decoding the view
 	// (rather than threading flags through the cache) also covers
 	// waiters who joined another request's in-flight compute.
@@ -527,6 +572,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	solver, status, err := resolveSolver(req.Solver)
 	if err != nil {
 		writeError(w, status, err)
+		return
+	}
+	// The whole sweep routes on its base scenario's key (see
+	// FleetRouteKey), so the NDJSON stream stays on one shard.
+	if s.redirectRemote(w, r, cacheKey(env.hash, solver, req.Config())) {
 		return
 	}
 	grid := req.Grid(env.soc)
@@ -649,6 +699,9 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	env, status, err := s.resolveSOC(&req.ScenarioRequest)
 	if err != nil {
 		writeError(w, status, err)
+		return
+	}
+	if s.redirectRemote(w, r, cachekey.RouteCompare(env.hash, req.Config())) {
 		return
 	}
 
@@ -814,11 +867,6 @@ func (s *Server) handleSOCs(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(struct {
 		SOCs []SOCInfo `json:"socs"`
 	}{out})
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	io.WriteString(w, "{\"status\":\"ok\"}\n")
 }
 
 // decodeJSON reads the request body strictly; on failure it writes the

@@ -439,10 +439,14 @@ func TestCompareInfeasibleBackendIsRow(t *testing.T) {
 }
 
 func TestHealthz(t *testing.T) {
+	// /healthz is an alias of /readyz; an in-memory server is ready at
+	// once, so both answer 200 "ready".
 	_, ts := newTestServer(t, Options{})
-	resp, data := get(t, ts, "/healthz")
-	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "ok") {
-		t.Errorf("healthz = %d %q", resp.StatusCode, data)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, data := get(t, ts, path)
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "ready") {
+			t.Errorf("%s = %d %q", path, resp.StatusCode, data)
+		}
 	}
 }
 

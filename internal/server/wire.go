@@ -1,14 +1,10 @@
 package server
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
-	"fmt"
-	"strconv"
-	"strings"
 
 	"multisite/internal/ate"
+	"multisite/internal/cachekey"
 	"multisite/internal/cli"
 	"multisite/internal/core"
 	"multisite/internal/engine"
@@ -332,35 +328,13 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// cacheKey derives the content-addressed cache key of one scenario: a
-// SHA-256 over the canonical SOC hash, the canonical solver name, and
-// every configuration field that affects the response, rendered in a
-// fixed order with exact float formatting. Two requests produce one key
-// iff they describe the same computation — a client uploading d695 inline
-// shares entries with requests naming the built-in benchmark, while two
-// backends' responses for one scenario never alias (solver is a key
-// dimension; see TestOptimizeSolverNoCacheAlias). Callers pass the
-// solver's canonical name (solve.Solver.Name), never the request's
-// spelling, so "" and "heuristic" address one entry.
+// cacheKey derives the content-addressed cache key of one scenario. The
+// derivation lives in internal/cachekey, shared with the fleet gateway
+// so routing and storage structurally cannot disagree (see that
+// package's doc; TestOptimizeSolverNoCacheAlias pins the solver
+// dimension here). Callers pass the solver's canonical name
+// (solve.Solver.Name), never the request's spelling, so "" and
+// "heuristic" address one entry.
 func cacheKey(socHash, solver string, cfg core.Config) string {
-	var b strings.Builder
-	b.WriteString("optimize/v1|soc=")
-	b.WriteString(socHash)
-	b.WriteString("|solver=")
-	b.WriteString(solver)
-	fmt.Fprintf(&b, "|N=%d|D=%d|clk=%s|bc=%t",
-		cfg.ATE.Channels, cfg.ATE.Depth, fmtFloat(cfg.ATE.ClockHz), cfg.ATE.Broadcast)
-	fmt.Fprintf(&b, "|ti=%s|tc=%s", fmtFloat(cfg.Probe.IndexTime), fmtFloat(cfg.Probe.ContactTime))
-	fmt.Fprintf(&b, "|pc=%s|pm=%s|abort=%t|retest=%t|pins=%d",
-		fmtFloat(cfg.ContactYield), fmtFloat(cfg.Yield), cfg.AbortOnFail, cfg.Retest, cfg.ControlPins)
-	fmt.Fprintf(&b, "|rule=%d|maxw=%d|nosq=%t|single=%t",
-		cfg.TAM.Rule, cfg.TAM.MaxWires, cfg.TAM.NoSqueeze, cfg.TAM.SinglePass)
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:])
-}
-
-// fmtFloat renders a float64 exactly (shortest round-trip form), so keys
-// never collide on formatting precision.
-func fmtFloat(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
+	return cachekey.Scenario(socHash, solver, cfg)
 }
